@@ -1,0 +1,56 @@
+// Figure 2 (table): number of minimal plans, total plans, and dissociations
+// for k-star and k-chain queries.
+//
+// Expected (paper): stars: #MP = k!, #P = A000670 (Fubini), #Delta =
+// 2^(k(k-1)); chains: #MP = A000108 (Catalan), #P = A001003 (super-
+// Catalan), #Delta = 2^((k-1)(k-2)).
+//
+// The extra column #SafeDiss is this project's exact count of hierarchical
+// dissociations (Definition 13); see EXPERIMENTS.md for why it can exceed
+// the paper's #P for k >= 4.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace dissodb;        // NOLINT
+using namespace dissodb::bench; // NOLINT
+
+namespace {
+
+std::string CountOr(const Result<uint64_t>& r, const char* fallback) {
+  return r.ok() ? std::to_string(*r) : std::string(fallback);
+}
+
+void Row(const char* kind, int k, const ConjunctiveQuery& q,
+         bool safe_feasible) {
+  auto mp = CountMinimalPlans(q);
+  auto tp = CountTotalPlans(q);
+  auto sd = safe_feasible ? CountSafeDissociations(q)
+                          : Result<uint64_t>(Status::OutOfRange("skipped"));
+  int expo = DissociationExponent(q);
+  auto ad = CountAllDissociations(q);
+  std::string delta = ad.ok() && expo <= 40
+                          ? std::to_string(*ad)
+                          : "2^" + std::to_string(expo);
+  PrintRow({kind, std::to_string(k), CountOr(mp, "-"), CountOr(tp, "-"),
+            CountOr(sd, "-"), delta});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 2: plan and dissociation counts\n");
+  std::printf("(paper: stars #MP=k!, #P=A000670; chains #MP=Catalan, "
+              "#P=A001003; #Delta=2^K)\n\n");
+  PrintHeader({"query", "k", "#MP", "#P(Fig2)", "#SafeDiss", "#Delta"});
+  for (int k = 1; k <= 7; ++k) {
+    Row("k-star", k, MakeStarQuery(k), /*safe_feasible=*/k <= 4);
+  }
+  std::printf("\n");
+  for (int k = 2; k <= 8; ++k) {
+    Row("k-chain", k, MakeChainQuery(k), /*safe_feasible=*/k <= 6);
+  }
+  std::printf("\nNote: #SafeDiss is the exact number of hierarchical\n"
+              "dissociations; '-' marks sizes skipped for time.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 5c: 2-star query runtime vs database size.
+//
+// Paper shape: the 2-star has only 2 minimal plans, so Opt1 and Opt1-2
+// coincide; the probabilistic overhead over deterministic SQL is small.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace dissodb;        // NOLINT
+using namespace dissodb::bench; // NOLINT
+
+int main() {
+  std::printf("Figure 5c: 2-star query, runtime vs tuples per table\n\n");
+  PrintHeader({"n", "#plans", "AllPlans", "Opt1", "Opt1-2", "Opt1-3", "SQL"});
+  double scale = BenchScale();
+  for (size_t n : {size_t{100}, size_t{1000}, size_t{10000}, size_t{100000}}) {
+    size_t nn = static_cast<size_t>(n * scale);
+    StarSpec spec;
+    spec.k = 2;
+    spec.n = nn;
+    spec.seed = 2020 + nn;
+    Database db = MakeStarDatabase(spec);
+    ConjunctiveQuery q = MakeStarQuery(2);
+    MethodTiming t = TimeAllMethods(db, q);
+    PrintRow({std::to_string(nn), std::to_string(t.num_plans),
+              FmtMs(t.all_plans_ms), FmtMs(t.opt1_ms), FmtMs(t.opt12_ms),
+              FmtMs(t.opt123_ms), FmtMs(t.standard_sql_ms)});
+  }
+  return 0;
+}

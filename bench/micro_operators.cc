@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks of the engine primitives: scans, hash
+// joins, independent projections, cut enumeration, plan construction and
+// exact WMC. These are the building blocks whose costs the figure benches
+// aggregate.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace dissodb;        // NOLINT
+using namespace dissodb::bench; // NOLINT
+
+namespace {
+
+Database* ChainDb(int k, size_t n) {
+  static std::map<std::pair<int, size_t>, std::unique_ptr<Database>> cache;
+  auto key = std::make_pair(k, n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    ChainSpec spec;
+    spec.k = k;
+    spec.n = n;
+    spec.seed = 999;
+    it = cache.emplace(key, std::make_unique<Database>(MakeChainDatabase(spec)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void BM_ScanAtom(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  for (auto _ : state) {
+    auto rel = ScanAtom(*db, q, 0);
+    benchmark::DoNotOptimize(rel->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanAtom)->Arg(1000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  auto left = ScanAtom(*db, q, 0);
+  auto right = ScanAtom(*db, q, 1);
+  for (auto _ : state) {
+    Rel out = HashJoin(*left, *right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(100000);
+
+void BM_ProjectIndependent(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  auto rel = ScanAtom(*db, q, 0);
+  VarMask keep = MaskOf(q.FindVar("x0"));
+  for (auto _ : state) {
+    Rel out = ProjectIndependent(*rel, keep);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProjectIndependent)->Arg(1000)->Arg(100000);
+
+void BM_MinCutsChain(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeChainQuery(k);
+  SchemaKnowledge none = SchemaKnowledge::None(q);
+  auto atoms = MakeWorkAtoms(q, none);
+  for (auto _ : state) {
+    auto cuts = MinCuts(atoms, q.EVarMask());
+    benchmark::DoNotOptimize(cuts->size());
+  }
+}
+BENCHMARK(BM_MinCutsChain)->Arg(4)->Arg(8);
+
+void BM_EnumerateMinimalPlans(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeChainQuery(k);
+  for (auto _ : state) {
+    auto plans = EnumerateMinimalPlans(q);
+    benchmark::DoNotOptimize(plans->size());
+  }
+}
+BENCHMARK(BM_EnumerateMinimalPlans)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_BuildSinglePlan(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeChainQuery(k);
+  SchemaKnowledge none = SchemaKnowledge::None(q);
+  for (auto _ : state) {
+    auto plan = BuildSinglePlan(q, none);
+    benchmark::DoNotOptimize(plan->get());
+  }
+}
+BENCHMARK(BM_BuildSinglePlan)->Arg(4)->Arg(8);
+
+void BM_ExactWmcLadder(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Dnf f;
+  for (int i = 0; i < n; ++i) f.probs.push_back(0.5);
+  for (int i = 0; i + 2 < n; ++i) f.terms.push_back({i, i + 1, i + 2});
+  for (auto _ : state) {
+    auto p = ExactDnfProbability(f);
+    benchmark::DoNotOptimize(*p);
+  }
+}
+BENCHMARK(BM_ExactWmcLadder)->Arg(16)->Arg(64);
+
+void BM_NaiveMc(benchmark::State& state) {
+  Dnf f;
+  for (int i = 0; i < 64; ++i) f.probs.push_back(0.3);
+  for (int i = 0; i + 2 < 64; ++i) f.terms.push_back({i, i + 1, i + 2});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveDnfEstimate(f, 1000, &rng));
+  }
+}
+BENCHMARK(BM_NaiveMc);
+
+void BM_PropagationChain4(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database* db = ChainDb(4, n);
+  ConjunctiveQuery q = MakeChainQuery(4);
+  for (auto _ : state) {
+    auto res = PropagationScore(*db, q);
+    benchmark::DoNotOptimize(res->answers.size());
+  }
+}
+BENCHMARK(BM_PropagationChain4)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Hash combiners used by join keys, plan canonicalization and memo tables.
+#ifndef DISSODB_COMMON_HASH_H_
+#define DISSODB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dissodb {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine style, 64-bit).
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// 64-bit finalizer (splitmix64); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a contiguous range of integer-like values.
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0x51ed270b;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(&seed, static_cast<size_t>(Mix64(static_cast<uint64_t>(*it))));
+  }
+  return seed;
+}
+
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_COMMON_HASH_H_

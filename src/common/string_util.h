@@ -1,0 +1,29 @@
+// Small string helpers: splitting, trimming, SQL LIKE matching, formatting.
+#ifndef DISSODB_COMMON_STRING_UTIL_H_
+#define DISSODB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dissodb {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// SQL LIKE matching with '%' (any sequence) and '_' (any one char).
+/// Case-sensitive, no escape syntax.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_COMMON_STRING_UTIL_H_

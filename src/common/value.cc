@@ -1,0 +1,25 @@
+#include "src/common/value.h"
+
+#include <string>
+
+namespace dissodb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kInt64: return std::to_string(i_);
+    case ValueType::kDouble: return std::to_string(d_);
+    case ValueType::kString: return "str#" + std::to_string(i_);
+  }
+  return "?";
+}
+
+}  // namespace dissodb

@@ -1,0 +1,93 @@
+// Compact tagged scalar value used by tuples throughout the engine.
+//
+// Strings are dictionary-encoded (see storage/database.h StringPool), so a
+// Value is a fixed 16-byte POD that hashes and compares cheaply — the idiom
+// used by analytic engines for join keys.
+#ifndef DISSODB_COMMON_VALUE_H_
+#define DISSODB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/hash.h"
+
+namespace dissodb {
+
+/// Column / value type.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,  // dictionary code into a StringPool
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A 16-byte tagged scalar: INT64, DOUBLE, or dictionary-coded STRING.
+///
+/// Equality and ordering compare the tag first, then the payload; two string
+/// values compare by dictionary code (valid within one StringPool).
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), i_(0) {}
+
+  static Value Int64(int64_t v) {
+    Value x;
+    x.type_ = ValueType::kInt64;
+    x.i_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.type_ = ValueType::kDouble;
+    x.d_ = v;
+    return x;
+  }
+  /// `code` is a dictionary code assigned by a StringPool.
+  static Value StringCode(int64_t code) {
+    Value x;
+    x.type_ = ValueType::kString;
+    x.i_ = code;
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+  int64_t AsInt64() const { return i_; }
+  double AsDouble() const { return d_; }
+  int64_t AsStringCode() const { return i_; }
+
+  /// Raw 64-bit payload (for hashing; doubles hashed by bit pattern).
+  uint64_t RawBits() const { return static_cast<uint64_t>(i_); }
+
+  bool operator==(const Value& o) const {
+    return type_ == o.type_ && i_ == o.i_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const {
+    if (type_ != o.type_) return type_ < o.type_;
+    if (type_ == ValueType::kDouble) return d_ < o.d_;
+    return i_ < o.i_;
+  }
+
+  size_t Hash() const {
+    return static_cast<size_t>(
+        Mix64(static_cast<uint64_t>(type_) * 0x100000001b3ULL ^ RawBits()));
+  }
+
+  /// Debug rendering; string values print as "str#<code>" without a pool.
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  union {
+    int64_t i_;
+    double d_;
+  };
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_COMMON_VALUE_H_

@@ -1,0 +1,339 @@
+#include "src/dissociation/counting.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/query/analysis.h"
+#include "src/query/cuts.h"
+
+namespace dissodb {
+
+namespace {
+
+struct MemoKey {
+  uint64_t atom_set;
+  VarMask head;
+  bool operator==(const MemoKey& o) const {
+    return atom_set == o.atom_set && head == o.head;
+  }
+};
+struct MemoKeyHash {
+  size_t operator()(const MemoKey& k) const {
+    size_t h = Mix64(k.atom_set);
+    HashCombine(&h, Mix64(k.head));
+    return h;
+  }
+};
+
+/// Counts minimal plans by mirroring Algorithm 1's recursion.
+class MinimalPlanCounter {
+ public:
+  explicit MinimalPlanCounter(const ConjunctiveQuery& q) : q_(q) {
+    SchemaKnowledge none = SchemaKnowledge::None(q);
+    atoms_ = MakeWorkAtoms(q, none);
+  }
+
+  Result<uint64_t> Count() {
+    std::vector<int> all;
+    for (int i = 0; i < q_.num_atoms(); ++i) all.push_back(i);
+    return CountRec(all, q_.HeadMask());
+  }
+
+ private:
+  Result<uint64_t> CountRec(const std::vector<int>& idxs, VarMask head) {
+    std::vector<WorkAtom> atoms;
+    for (int i : idxs) atoms.push_back(atoms_[i]);
+    VarMask all = UnionVars(atoms);
+    head &= all;
+    uint64_t atom_set = 0;
+    for (int i : idxs) atom_set |= uint64_t{1} << i;
+    MemoKey key{atom_set, head};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    uint64_t total = 0;
+    if (atoms.size() == 1) {
+      total = 1;
+    } else {
+      VarMask evars = all & ~head;
+      auto comps = ConnectedComponents(atoms, evars);
+      auto product_over = [&](const std::vector<std::vector<int>>& comps_local,
+                              VarMask sub_head) -> Result<uint64_t> {
+        uint64_t prod = 1;
+        for (const auto& comp : comps_local) {
+          std::vector<int> sub;
+          for (int ci : comp) sub.push_back(idxs[ci]);
+          std::vector<WorkAtom> sub_atoms;
+          for (int i : sub) sub_atoms.push_back(atoms_[i]);
+          auto c = CountRec(sub, sub_head & UnionVars(sub_atoms));
+          if (!c.ok()) return c.status();
+          prod *= *c;
+        }
+        return prod;
+      };
+      if (comps.size() > 1) {
+        auto p = product_over(comps, head);
+        if (!p.ok()) return p.status();
+        total = *p;
+      } else {
+        auto cuts = MinCuts(atoms, evars);
+        if (!cuts.ok()) return cuts.status();
+        for (VarMask y : *cuts) {
+          auto comps2 = ConnectedComponents(atoms, evars & ~y);
+          auto p = product_over(comps2, head | y);
+          if (!p.ok()) return p.status();
+          total += *p;
+        }
+      }
+    }
+    memo_.emplace(key, total);
+    return total;
+  }
+
+  const ConjunctiveQuery& q_;
+  std::vector<WorkAtom> atoms_;
+  std::unordered_map<MemoKey, uint64_t, MemoKeyHash> memo_;
+};
+
+/// Counts ALL plans = safe dissociations (Theorem 18) without enumerating
+/// the 2^K lattice.
+///
+/// NC(A, h) counts the dissociations Delta of sub-atom-set A (head h) whose
+/// dissociated atoms are hierarchical AND connected through the existential
+/// variables outside h. Such a Delta has a non-empty separator y =
+/// SVar(A^Delta) \ h: every atom absorbs y, and removing h ∪ y splits
+/// A^Delta into >= 2 components. Those components are unions of the
+/// components of the ORIGINAL A - (h ∪ y) — dissociation can merge original
+/// components but never split them — and the residual dissociation factors
+/// over the groups. Summing over the exact separator y and over partitions
+/// of the original components into >= 2 groups counts every safe
+/// dissociation exactly once (a Delta is counted only under its true
+/// separator: under any smaller y the dissociated query stays connected, so
+/// no >= 2-group partition exists).
+///
+/// The top level allows any number of groups >= 1 (a disconnected
+/// dissociated query corresponds to a top-level join).
+class SafeDissociationCounter {
+ public:
+  explicit SafeDissociationCounter(const ConjunctiveQuery& q) : q_(q) {
+    SchemaKnowledge none = SchemaKnowledge::None(q);
+    atoms_ = MakeWorkAtoms(q, none);
+  }
+
+  Result<uint64_t> Count() {
+    std::vector<int> all;
+    for (int i = 0; i < q_.num_atoms(); ++i) all.push_back(i);
+    VarMask head = q_.HeadMask();
+    // N(A, h): sum over partitions of the components of A - h into groups
+    // (>= 1), each group counted by NC.
+    std::vector<WorkAtom> atoms;
+    for (int i : all) atoms.push_back(atoms_[i]);
+    VarMask evars = UnionVars(atoms) & ~head;
+    auto comps = ConnectedComponents(atoms, evars);
+    return SumOverPartitions(all, comps, head, /*min_groups=*/1);
+  }
+
+ private:
+  /// Sum over all set-partitions of `comps` (indices into `idxs`) into at
+  /// least `min_groups` groups of the product of NC(group, head).
+  Result<uint64_t> SumOverPartitions(const std::vector<int>& idxs,
+                                     const std::vector<std::vector<int>>& comps,
+                                     VarMask head, int min_groups) {
+    // Materialize each component as a list of original atom indices.
+    std::vector<std::vector<int>> comp_atoms;
+    for (const auto& c : comps) {
+      std::vector<int> g;
+      for (int ci : c) g.push_back(idxs[ci]);
+      comp_atoms.push_back(std::move(g));
+    }
+    std::vector<std::vector<int>> groups;  // current partition (atom lists)
+    return PartitionRec(comp_atoms, 0, &groups, head, min_groups);
+  }
+
+  Result<uint64_t> PartitionRec(const std::vector<std::vector<int>>& comp_atoms,
+                                size_t next,
+                                std::vector<std::vector<int>>* groups,
+                                VarMask head, int min_groups) {
+    if (next == comp_atoms.size()) {
+      if (static_cast<int>(groups->size()) < min_groups) return uint64_t{0};
+      uint64_t prod = 1;
+      for (const auto& g : *groups) {
+        auto c = CountConnected(g, head);
+        if (!c.ok()) return c.status();
+        if (*c == 0) return uint64_t{0};
+        prod *= *c;
+      }
+      return prod;
+    }
+    uint64_t total = 0;
+    // Standard set-partition recursion: put component `next` into an
+    // existing group or start a new one.
+    for (size_t g = 0; g < groups->size(); ++g) {
+      size_t before = (*groups)[g].size();
+      (*groups)[g].insert((*groups)[g].end(), comp_atoms[next].begin(),
+                          comp_atoms[next].end());
+      auto r = PartitionRec(comp_atoms, next + 1, groups, head, min_groups);
+      if (!r.ok()) return r.status();
+      total += *r;
+      (*groups)[g].resize(before);
+    }
+    groups->push_back(comp_atoms[next]);
+    auto r = PartitionRec(comp_atoms, next + 1, groups, head, min_groups);
+    if (!r.ok()) return r.status();
+    total += *r;
+    groups->pop_back();
+    return total;
+  }
+
+  /// NC(A, h) with memoization.
+  Result<uint64_t> CountConnected(const std::vector<int>& idxs, VarMask head) {
+    std::vector<WorkAtom> atoms;
+    for (int i : idxs) atoms.push_back(atoms_[i]);
+    VarMask all = UnionVars(atoms);
+    head &= all;
+    uint64_t atom_set = 0;
+    for (int i : idxs) atom_set |= uint64_t{1} << i;
+    MemoKey key{atom_set, head};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    uint64_t total = 0;
+    if (atoms.size() == 1) {
+      total = 1;
+    } else {
+      VarMask evars = all & ~head;
+      std::vector<VarId> ev = MaskToVars(evars);
+      if (ev.size() > 24) {
+        return Status::OutOfRange("plan counting limited to 24 variables");
+      }
+      for (uint64_t bits = 1; bits < (uint64_t{1} << ev.size()); ++bits) {
+        VarMask y = 0;
+        uint64_t b = bits;
+        while (b) {
+          y |= MaskOf(ev[__builtin_ctzll(b)]);
+          b &= b - 1;
+        }
+        auto comps = ConnectedComponents(atoms, evars & ~y);
+        if (comps.size() < 2) continue;  // y is not the exact separator
+        auto r = SumOverPartitions(idxs, comps, head | y, /*min_groups=*/2);
+        if (!r.ok()) return r.status();
+        total += *r;
+      }
+    }
+    memo_.emplace(key, total);
+    return total;
+  }
+
+  const ConjunctiveQuery& q_;
+  std::vector<WorkAtom> atoms_;
+  std::unordered_map<MemoKey, uint64_t, MemoKeyHash> memo_;
+};
+
+
+/// Counts the paper's Figure 2 "#P" plan space: plans whose joins range over
+/// the connected components of the ORIGINAL subquery (no dissociation-merged
+/// groups), summing over all cut-sets for the top-most projection.
+class PaperTotalPlanCounter {
+ public:
+  explicit PaperTotalPlanCounter(const ConjunctiveQuery& q) : q_(q) {
+    SchemaKnowledge none = SchemaKnowledge::None(q);
+    atoms_ = MakeWorkAtoms(q, none);
+  }
+
+  Result<uint64_t> Count() {
+    std::vector<int> all;
+    for (int i = 0; i < q_.num_atoms(); ++i) all.push_back(i);
+    return CountRec(all, q_.HeadMask());
+  }
+
+ private:
+  Result<uint64_t> CountRec(const std::vector<int>& idxs, VarMask head) {
+    std::vector<WorkAtom> atoms;
+    for (int i : idxs) atoms.push_back(atoms_[i]);
+    VarMask all = UnionVars(atoms);
+    head &= all;
+    uint64_t atom_set = 0;
+    for (int i : idxs) atom_set |= uint64_t{1} << i;
+    MemoKey key{atom_set, head};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    uint64_t total = 0;
+    if (atoms.size() == 1) {
+      total = 1;
+    } else {
+      VarMask evars = all & ~head;
+      auto comps = ConnectedComponents(atoms, evars);
+      auto product_over = [&](const std::vector<std::vector<int>>& comps_local,
+                              VarMask sub_head) -> Result<uint64_t> {
+        uint64_t prod = 1;
+        for (const auto& comp : comps_local) {
+          std::vector<int> sub;
+          for (int ci : comp) sub.push_back(idxs[ci]);
+          std::vector<WorkAtom> sub_atoms;
+          for (int i : sub) sub_atoms.push_back(atoms_[i]);
+          auto c = CountRec(sub, sub_head & UnionVars(sub_atoms));
+          if (!c.ok()) return c.status();
+          prod *= *c;
+        }
+        return prod;
+      };
+      if (comps.size() > 1) {
+        auto p = product_over(comps, head);
+        if (!p.ok()) return p.status();
+        total += *p;
+      }
+      auto cuts = EnumerateCutSets(atoms, evars);
+      if (!cuts.ok()) return cuts.status();
+      for (VarMask y : *cuts) {
+        auto comps2 = ConnectedComponents(atoms, evars & ~y);
+        if (comps2.size() < 2) continue;
+        auto p = product_over(comps2, head | y);
+        if (!p.ok()) return p.status();
+        total += *p;
+      }
+    }
+    memo_.emplace(key, total);
+    return total;
+  }
+
+  const ConjunctiveQuery& q_;
+  std::vector<WorkAtom> atoms_;
+  std::unordered_map<MemoKey, uint64_t, MemoKeyHash> memo_;
+};
+
+}  // namespace
+
+Result<uint64_t> CountMinimalPlans(const ConjunctiveQuery& q) {
+  return MinimalPlanCounter(q).Count();
+}
+
+Result<uint64_t> CountTotalPlans(const ConjunctiveQuery& q) {
+  return PaperTotalPlanCounter(q).Count();
+}
+
+Result<uint64_t> CountSafeDissociations(const ConjunctiveQuery& q) {
+  return SafeDissociationCounter(q).Count();
+}
+
+int DissociationExponent(const ConjunctiveQuery& q) {
+  int k = 0;
+  VarMask evars = q.EVarMask();
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    k += MaskCount(evars & ~q.AtomMask(i));
+  }
+  return k;
+}
+
+Result<uint64_t> CountAllDissociations(const ConjunctiveQuery& q) {
+  int k = DissociationExponent(q);
+  if (k > 63) {
+    return Status::OutOfRange("2^" + std::to_string(k) +
+                              " dissociations overflow uint64");
+  }
+  return uint64_t{1} << k;
+}
+
+}  // namespace dissodb

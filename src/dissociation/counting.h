@@ -1,0 +1,52 @@
+// Counting minimal plans, total plans, and dissociations (Figure 2).
+//
+// Three quantities:
+//  - CountMinimalPlans: #MP, mirrors Algorithm 1 (validated against the
+//    paper's k! / Catalan rows and against lattice enumeration).
+//  - CountTotalPlans: the paper's #P column (A000670 Fubini for stars,
+//    A001003 super-Catalan for chains). This counts plans whose joins range
+//    over connected components of the *original* subquery — the plan space
+//    the paper tabulates in Figure 2.
+//  - CountSafeDissociations: the exact number of hierarchical dissociations
+//    (Definition 13), validated against exhaustive lattice enumeration.
+//
+// Reproduction note: the last two differ for some queries. Figure 1b counts
+// 5 plans for Example 17, which requires joins over components merged by
+// the dissociation itself (plans 5 and 6) — CountSafeDissociations captures
+// those. For k >= 4 chains, however, additional hierarchical dissociations
+// exist that differ only in projection placement over the same join shape
+// (e.g. 17 for the 4-chain), which Figure 2's closed forms (11) exclude.
+// We reproduce the paper's table with CountTotalPlans and expose the exact
+// lattice count separately; see EXPERIMENTS.md.
+#ifndef DISSODB_DISSOCIATION_COUNTING_H_
+#define DISSODB_DISSOCIATION_COUNTING_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+/// Number of minimal plans (= minimal safe dissociations, Theorem 20),
+/// without schema knowledge.
+Result<uint64_t> CountMinimalPlans(const ConjunctiveQuery& q);
+
+/// The paper's Figure 2 "#P" count: plans whose joins range over connected
+/// components of the original subquery.
+Result<uint64_t> CountTotalPlans(const ConjunctiveQuery& q);
+
+/// Exact number of safe (hierarchical) dissociations, by a
+/// partition-over-merged-components recursion; equals lattice enumeration.
+Result<uint64_t> CountSafeDissociations(const ConjunctiveQuery& q);
+
+/// K: the number of (atom, missing existential variable) slots; the lattice
+/// has 2^K elements.
+int DissociationExponent(const ConjunctiveQuery& q);
+
+/// 2^K, or OutOfRange if K > 63.
+Result<uint64_t> CountAllDissociations(const ConjunctiveQuery& q);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_DISSOCIATION_COUNTING_H_

@@ -1,0 +1,107 @@
+// Query dissociation (Definitions 10-15) and the plan <-> dissociation
+// correspondence (Theorem 18).
+//
+// A dissociation Delta assigns to every atom R_i a set of extra existential
+// variables y_i (disjoint from the atom's own variables). The dissociated
+// query q^Delta joins on strictly more variables, is an upper bound
+// P(q) <= P(q^Delta) (Theorem 12), and when hierarchical ("safe
+// dissociation") can be evaluated in PTIME by its unique safe plan.
+#ifndef DISSODB_DISSOCIATION_DISSOCIATION_H_
+#define DISSODB_DISSOCIATION_DISSOCIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/plan.h"
+#include "src/query/analysis.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// \brief A dissociation Delta = (y_1, ..., y_m): extra existential
+/// variables per atom.
+struct Dissociation {
+  std::vector<VarMask> extra;
+
+  static Dissociation Empty(const ConjunctiveQuery& q) {
+    return Dissociation{std::vector<VarMask>(q.num_atoms(), 0)};
+  }
+  /// The top dissociation: every atom receives all missing existential vars.
+  static Dissociation Top(const ConjunctiveQuery& q);
+
+  bool IsEmpty() const {
+    for (VarMask m : extra) {
+      if (m) return false;
+    }
+    return true;
+  }
+  bool operator==(const Dissociation& o) const { return extra == o.extra; }
+
+  std::string ToString(const ConjunctiveQuery& q) const;
+};
+
+/// Partial dissociation order (Definition 15): Delta <= Delta' iff
+/// y_i ⊆ y_i' for every atom.
+bool DissociationLeq(const Dissociation& a, const Dissociation& b);
+
+/// Probabilistic preorder ⪯p / ⪯p' (Sections 3.3.1-3.3.2): compares only
+/// probabilistic atoms, each modulo the FD closure of the atom's variables.
+/// With no schema knowledge this coincides with DissociationLeq.
+bool DissociationLeqP(const ConjunctiveQuery& q, const SchemaKnowledge& sk,
+                      const Dissociation& a, const Dissociation& b);
+
+/// Work atoms of q^Delta (atom variable masks extended by Delta).
+std::vector<WorkAtom> ApplyDissociation(const ConjunctiveQuery& q,
+                                        const SchemaKnowledge& sk,
+                                        const Dissociation& delta);
+
+/// Is q^Delta hierarchical, i.e. is Delta a safe dissociation (Def. 13)?
+bool IsSafeDissociation(const ConjunctiveQuery& q, const Dissociation& delta);
+
+/// Validates Delta: per atom, extra ⊆ EVar(q) \ Var(atom).
+Status ValidateDissociation(const ConjunctiveQuery& q,
+                            const Dissociation& delta);
+
+/// \brief The dissociated instance D^Delta together with the rewritten query
+/// q^Delta over fresh relation names (Definition 10(2)). Used by tests to
+/// check Theorem 18(2): score(P^Delta) == P(q^Delta).
+struct MaterializedDissociation {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+/// Materializes D^Delta by copying each tuple once per combination of
+/// active-domain values of its extra variables. `max_rows` guards blowup.
+Result<MaterializedDissociation> MaterializeDissociation(
+    const Database& db, const ConjunctiveQuery& q, const Dissociation& delta,
+    size_t max_rows = 2'000'000);
+
+/// The dissociation Delta_P induced by a plan (Theorem 18 direction P -> ∆):
+/// at every join, each child's scans dissociate on the join variables the
+/// child is missing; restricted to existential variables.
+Dissociation ExtractDissociation(const PlanPtr& plan,
+                                 const ConjunctiveQuery& q);
+
+/// The unique safe plan P^Delta of a safe dissociation (Theorem 18 direction
+/// ∆ -> P), built by the Lemma 3 recursion on q^Delta. The returned plan
+/// scans original relations with the extra variables attached as virtual
+/// variables. Fails if Delta is not safe.
+Result<PlanPtr> SafePlanForDissociation(const ConjunctiveQuery& q,
+                                        const Dissociation& delta);
+
+/// The unique safe plan of a safe (hierarchical) query; convenience wrapper
+/// for the empty dissociation.
+Result<PlanPtr> SafePlanForQuery(const ConjunctiveQuery& q);
+
+/// Lemma 3 recursion over explicit work atoms (variable masks may include
+/// virtual variables); used by the plan-enumeration algorithms. Fails if the
+/// atoms are not hierarchical w.r.t. the variables outside `head`.
+Result<PlanPtr> SafePlanForWorkAtoms(const ConjunctiveQuery& q,
+                                     std::vector<WorkAtom> atoms,
+                                     VarMask head);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_DISSOCIATION_DISSOCIATION_H_

@@ -1,0 +1,107 @@
+#include "src/dissociation/lattice.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dissodb {
+
+namespace {
+
+constexpr int kMaxLatticeBits = 20;
+
+/// The "dissociation slots" of q: (atom, variable) pairs that may receive an
+/// extra variable. Their count is the K of the 2^K lattice size.
+std::vector<std::pair<int, VarId>> DissociationSlots(const ConjunctiveQuery& q) {
+  std::vector<std::pair<int, VarId>> slots;
+  VarMask evars = q.EVarMask();
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    for (VarId v : MaskToVars(evars & ~q.AtomMask(i))) {
+      slots.emplace_back(i, v);
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+Result<std::vector<Dissociation>> EnumerateAllDissociations(
+    const ConjunctiveQuery& q) {
+  auto slots = DissociationSlots(q);
+  const int k = static_cast<int>(slots.size());
+  if (k > kMaxLatticeBits) {
+    return Status::OutOfRange("dissociation lattice too large: 2^" +
+                              std::to_string(k));
+  }
+  std::vector<Dissociation> out;
+  out.reserve(size_t{1} << k);
+  for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) {
+    Dissociation d = Dissociation::Empty(q);
+    uint64_t b = bits;
+    while (b) {
+      int s = __builtin_ctzll(b);
+      d.extra[slots[s].first] |= MaskOf(slots[s].second);
+      b &= b - 1;
+    }
+    out.push_back(std::move(d));
+  }
+  // Sort bottom-up by total dissociated-variable count (linear extension).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Dissociation& a, const Dissociation& b) {
+                     int ca = 0, cb = 0;
+                     for (VarMask m : a.extra) ca += MaskCount(m);
+                     for (VarMask m : b.extra) cb += MaskCount(m);
+                     return ca < cb;
+                   });
+  return out;
+}
+
+Result<std::vector<Dissociation>> EnumerateSafeDissociations(
+    const ConjunctiveQuery& q) {
+  auto all = EnumerateAllDissociations(q);
+  if (!all.ok()) return all.status();
+  std::vector<Dissociation> out;
+  for (auto& d : *all) {
+    if (IsSafeDissociation(q, d)) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Result<std::vector<Dissociation>> EnumerateMinimalSafeDissociations(
+    const ConjunctiveQuery& q) {
+  auto safe = EnumerateSafeDissociations(q);
+  if (!safe.ok()) return safe.status();
+  std::vector<Dissociation> out;
+  // `safe` is sorted bottom-up, so a safe Delta is minimal iff it is not
+  // above any previously kept minimal one.
+  for (auto& d : *safe) {
+    bool dominated = false;
+    for (const auto& m : out) {
+      if (DissociationLeq(m, d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Result<std::vector<PlanPtr>> EnumerateAllPlans(const ConjunctiveQuery& q) {
+  // By Theorem 18 the plans of q are exactly the (stripped) unique safe
+  // plans of its safe dissociations. Enumerating them through the lattice is
+  // the only correct general method: a join's children are the connected
+  // components of the *dissociated* query, which may merge components of the
+  // original query (e.g. Example 17's plans 5 and 6).
+  auto safe = EnumerateSafeDissociations(q);
+  if (!safe.ok()) return safe.status();
+  std::vector<PlanPtr> out;
+  out.reserve(safe->size());
+  for (const auto& d : *safe) {
+    auto plan = SafePlanForDissociation(q, d);
+    if (!plan.ok()) return plan.status();
+    out.push_back(std::move(*plan));
+  }
+  return out;
+}
+
+}  // namespace dissodb

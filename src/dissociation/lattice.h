@@ -1,0 +1,38 @@
+// The dissociation lattice (Figure 1a) and exhaustive plan enumeration.
+//
+// These routines are exponential in the query size and exist for (a) the
+// Figure 2 table, and (b) cross-validating the efficient algorithms: safe
+// dissociations must be in 1-to-1 correspondence with plans (Theorem 18) and
+// minimal safe dissociations with Algorithm 1's output (Theorem 20).
+#ifndef DISSODB_DISSOCIATION_LATTICE_H_
+#define DISSODB_DISSOCIATION_LATTICE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dissociation/dissociation.h"
+
+namespace dissodb {
+
+/// All 2^K dissociations of q, bottom-up by total extra-variable count
+/// (a linear extension of the partial order). Guarded to K <= 20.
+Result<std::vector<Dissociation>> EnumerateAllDissociations(
+    const ConjunctiveQuery& q);
+
+/// All safe dissociations (hierarchical q^Delta).
+Result<std::vector<Dissociation>> EnumerateSafeDissociations(
+    const ConjunctiveQuery& q);
+
+/// Minimal safe dissociations under the plain partial order (Def. 15):
+/// safe Deltas with no strictly smaller safe Delta.
+Result<std::vector<Dissociation>> EnumerateMinimalSafeDissociations(
+    const ConjunctiveQuery& q);
+
+/// All query plans of q (Definition 4, joins/projections alternating,
+/// no identity projections). In 1-to-1 correspondence with safe
+/// dissociations by Theorem 18.
+Result<std::vector<PlanPtr>> EnumerateAllPlans(const ConjunctiveQuery& q);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_DISSOCIATION_LATTICE_H_

@@ -1,0 +1,153 @@
+#include "src/dissociation/minimal_plans.h"
+
+#include <algorithm>
+
+#include "src/query/cuts.h"
+
+namespace dissodb {
+
+namespace {
+
+class MinimalPlanEnumerator {
+ public:
+  MinimalPlanEnumerator(const ConjunctiveQuery& q, std::vector<WorkAtom> atoms,
+                        bool use_dr)
+      : q_(q), atoms_(std::move(atoms)), use_dr_(use_dr) {}
+
+  Result<std::vector<PlanPtr>> Run() { return Rec(atoms_, q_.HeadMask()); }
+
+ private:
+  PlanPtr Leaf(const WorkAtom& a) const {
+    return MakeScan(a.atom_idx, q_.AtomMask(a.atom_idx),
+                    a.vars & ~q_.AtomMask(a.atom_idx));
+  }
+
+  static int CountProbabilistic(const std::vector<WorkAtom>& atoms) {
+    int n = 0;
+    for (const auto& a : atoms) n += a.probabilistic ? 1 : 0;
+    return n;
+  }
+
+  /// Line 1 (plain) / modification 2 (DR): the base case.
+  ///
+  /// With at most one probabilistic relation left, dissociating every
+  /// DETERMINISTIC atom on all missing existential variables is free
+  /// (Lemma 22) and always yields a hierarchical query whose unique safe
+  /// plan is exact. When the probabilistic atom already contains every
+  /// existential variable this degenerates to the paper's single
+  /// join-all-project plan; when it does not, the literal join-all would
+  /// dissociate the probabilistic relation (not exact), so we emit the
+  /// safe plan of the DR-only dissociation instead.
+  Result<PlanPtr> BaseCase(const std::vector<WorkAtom>& atoms,
+                           VarMask head) const {
+    if (atoms.size() == 1) {
+      PlanPtr p = Leaf(atoms[0]);
+      if (p->head != head) p = MakeProject(head, p);
+      return p;
+    }
+    VarMask evars = UnionVars(atoms) & ~head;
+    std::vector<WorkAtom> datoms = atoms;
+    for (auto& a : datoms) {
+      if (!a.probabilistic) a.vars |= evars;
+    }
+    return SafePlanForWorkAtoms(q_, std::move(datoms), head);
+  }
+
+  Result<std::vector<PlanPtr>> Rec(const std::vector<WorkAtom>& atoms,
+                                   VarMask head) {
+    VarMask all = UnionVars(atoms);
+    head &= all;
+    const bool stop = use_dr_ ? CountProbabilistic(atoms) <= 1
+                              : atoms.size() == 1;
+    if (stop) {
+      auto base = BaseCase(atoms, head);
+      if (!base.ok()) return base.status();
+      return std::vector<PlanPtr>{*base};
+    }
+    VarMask evars = all & ~head;
+    auto comps = ConnectedComponents(atoms, evars);
+    std::vector<PlanPtr> out;
+    if (comps.size() > 1) {
+      // Lines 3-6: cross product of component plan sets, joined.
+      std::vector<std::vector<PlanPtr>> lists;
+      for (const auto& comp : comps) {
+        std::vector<WorkAtom> sub;
+        for (int idx : comp) sub.push_back(atoms[idx]);
+        VarMask sub_head = head & UnionVars(sub);
+        auto plans = Rec(sub, sub_head);
+        if (!plans.ok()) return plans.status();
+        lists.push_back(std::move(*plans));
+      }
+      std::vector<size_t> idx(lists.size(), 0);
+      for (;;) {
+        std::vector<PlanPtr> children;
+        children.reserve(lists.size());
+        for (size_t i = 0; i < lists.size(); ++i) {
+          children.push_back(lists[i][idx[i]]);
+        }
+        out.push_back(MakeJoin(std::move(children)));
+        size_t i = 0;
+        for (; i < lists.size(); ++i) {
+          if (++idx[i] < lists[i].size()) break;
+          idx[i] = 0;
+        }
+        if (i == lists.size()) break;
+      }
+    } else {
+      // Lines 8-10: one projection per minimal cut-set.
+      auto cuts = use_dr_ ? MinPCuts(atoms, evars) : MinCuts(atoms, evars);
+      if (!cuts.ok()) return cuts.status();
+      for (VarMask y : *cuts) {
+        auto plans = Rec(atoms, head | y);
+        if (!plans.ok()) return plans.status();
+        for (auto& p : *plans) {
+          out.push_back(MakeProject(head, std::move(p)));
+        }
+      }
+    }
+    return out;
+  }
+
+  const ConjunctiveQuery& q_;
+  std::vector<WorkAtom> atoms_;
+  bool use_dr_;
+};
+
+}  // namespace
+
+Dissociation ChaseDissociation(const ConjunctiveQuery& q,
+                               const SchemaKnowledge& sk) {
+  Dissociation d = Dissociation::Empty(q);
+  VarMask evars = q.EVarMask();
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    VarMask vars = q.AtomMask(i);
+    d.extra[i] = (FDClosure(vars, sk.fds) & ~vars) & evars;
+  }
+  return d;
+}
+
+Result<std::vector<PlanPtr>> EnumerateMinimalPlans(
+    const ConjunctiveQuery& q, const SchemaKnowledge& sk,
+    const PlanEnumOptions& opts) {
+  std::vector<WorkAtom> atoms;
+  if (opts.use_fds && !sk.fds.empty()) {
+    atoms = ApplyDissociation(q, sk, ChaseDissociation(q, sk));
+  } else {
+    atoms = MakeWorkAtoms(q, sk);
+  }
+  MinimalPlanEnumerator e(q, std::move(atoms), opts.use_deterministic);
+  return e.Run();
+}
+
+Result<std::vector<PlanPtr>> EnumerateMinimalPlans(const ConjunctiveQuery& q) {
+  return EnumerateMinimalPlans(q, SchemaKnowledge::None(q), PlanEnumOptions{});
+}
+
+Result<bool> IsSafeQuery(const ConjunctiveQuery& q, const SchemaKnowledge& sk,
+                         const PlanEnumOptions& opts) {
+  auto plans = EnumerateMinimalPlans(q, sk, opts);
+  if (!plans.ok()) return plans.status();
+  return plans->size() == 1;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,52 @@
+// Algorithm 1: enumerate all minimal query plans (Theorem 20), with the
+// schema-knowledge refinements of Section 3.3:
+//  - deterministic relations: MinPCuts + the "at most one probabilistic
+//    relation" stopping rule (Theorem 24);
+//  - functional dependencies: chase the query through the FD closure
+//    (Delta_Gamma) before enumeration (Theorem 27).
+//
+// For a safe query the result is a single plan, the safe plan, and its score
+// equals the exact probability (conservativity; Corollary 28 generalizes the
+// Dalvi-Suciu dichotomy).
+#ifndef DISSODB_DISSOCIATION_MINIMAL_PLANS_H_
+#define DISSODB_DISSOCIATION_MINIMAL_PLANS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dissociation/dissociation.h"
+#include "src/plan/plan.h"
+#include "src/query/analysis.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+/// Which schema knowledge Algorithm 1 may exploit.
+struct PlanEnumOptions {
+  bool use_deterministic = true;  ///< Section 3.3.1 (MinPCuts + stop rule)
+  bool use_fds = true;            ///< Section 3.3.2 (chase Delta_Gamma)
+};
+
+/// Enumerates the minimal plans of q. With `sk` empty/None this is plain
+/// Algorithm 1; with deterministic relations or FDs the returned set can be
+/// strictly smaller (down to one plan when q is safe given the knowledge).
+Result<std::vector<PlanPtr>> EnumerateMinimalPlans(
+    const ConjunctiveQuery& q, const SchemaKnowledge& sk,
+    const PlanEnumOptions& opts = {});
+
+/// Convenience overload without schema knowledge.
+Result<std::vector<PlanPtr>> EnumerateMinimalPlans(const ConjunctiveQuery& q);
+
+/// The chase dissociation Delta_Gamma (Section 3.3.2): every atom absorbs
+/// the existential variables functionally determined by its own variables.
+Dissociation ChaseDissociation(const ConjunctiveQuery& q,
+                               const SchemaKnowledge& sk);
+
+/// Is q safe given schema knowledge, i.e. does Algorithm 1 return a single
+/// plan whose score is exact (Corollary 28)?
+Result<bool> IsSafeQuery(const ConjunctiveQuery& q, const SchemaKnowledge& sk,
+                         const PlanEnumOptions& opts = {});
+
+}  // namespace dissodb
+
+#endif  // DISSODB_DISSOCIATION_MINIMAL_PLANS_H_

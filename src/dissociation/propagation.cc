@@ -1,0 +1,80 @@
+#include "src/dissociation/propagation.h"
+
+#include "src/dissociation/single_plan.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/semijoin.h"
+
+namespace dissodb {
+
+Result<PropagationResult> PropagationScore(
+    const Database& db, const ConjunctiveQuery& q,
+    const PropagationOptions& opts,
+    const std::unordered_map<int, const Table*>& overrides) {
+  auto sk = SchemaKnowledge::FromDatabase(q, db);
+  if (!sk.ok()) return sk.status();
+
+  PropagationResult result;
+  {
+    auto plans = EnumerateMinimalPlans(q, *sk, opts.enum_opts);
+    if (!plans.ok()) return plans.status();
+    result.num_minimal_plans = plans->size();
+  }
+
+  // Opt. 3: semi-join-reduce the inputs first.
+  std::vector<Table> reduced;
+  std::unordered_map<int, const Table*> effective = overrides;
+  if (opts.opt3_semijoin_reduction) {
+    auto r = SemiJoinReduce(db, q, overrides);
+    if (!r.ok()) return r.status();
+    reduced = std::move(*r);
+    for (int i = 0; i < q.num_atoms(); ++i) effective[i] = &reduced[i];
+  }
+
+  Rel scores(std::vector<VarId>{});
+  if (opts.opt1_single_plan) {
+    SinglePlanOptions sp;
+    sp.reuse_common_subplans = opts.opt2_reuse_subplans;
+    sp.enum_opts = opts.enum_opts;
+    auto plan = BuildSinglePlan(q, *sk, sp);
+    if (!plan.ok()) return plan.status();
+    PlanEvaluator ev(db, q);
+    for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
+    auto rel = ev.Evaluate(*plan);
+    if (!rel.ok()) return rel.status();
+    result.nodes_evaluated = ev.nodes_evaluated();
+    scores = **rel;
+  } else {
+    auto plans = EnumerateMinimalPlans(q, *sk, opts.enum_opts);
+    if (!plans.ok()) return plans.status();
+    auto rel = EvaluatePlansSeparately(db, q, *plans, effective);
+    if (!rel.ok()) return rel.status();
+    for (const auto& p : *plans) result.nodes_evaluated += MeasurePlan(p).tree_nodes;
+    scores = std::move(*rel);
+  }
+  result.answers = RankAnswers(scores);
+  return result;
+}
+
+Result<double> PropagationScoreBoolean(const Database& db,
+                                       const ConjunctiveQuery& q,
+                                       const PropagationOptions& opts) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("query has head variables");
+  }
+  auto r = PropagationScore(db, q, opts);
+  if (!r.ok()) return r.status();
+  if (r->answers.empty()) return 0.0;
+  return r->answers[0].score;
+}
+
+Result<std::vector<RankedAnswer>> PlanScore(
+    const Database& db, const ConjunctiveQuery& q, const PlanPtr& plan,
+    const std::unordered_map<int, const Table*>& overrides) {
+  PlanEvaluator ev(db, q);
+  for (const auto& [idx, table] : overrides) ev.SetAtomTable(idx, table);
+  auto rel = ev.Evaluate(plan);
+  if (!rel.ok()) return rel.status();
+  return RankAnswers(**rel);
+}
+
+}  // namespace dissodb

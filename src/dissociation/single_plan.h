@@ -1,0 +1,30 @@
+// Optimizations 1 & 2 (Section 4): one single plan computing the propagation
+// score, with the min operator pushed down into the leaves (Algorithm 2) and
+// common subplans shared as DAG nodes (Algorithm 3's views).
+#ifndef DISSODB_DISSOCIATION_SINGLE_PLAN_H_
+#define DISSODB_DISSOCIATION_SINGLE_PLAN_H_
+
+#include "src/common/status.h"
+#include "src/dissociation/minimal_plans.h"
+#include "src/plan/plan.h"
+#include "src/query/analysis.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+struct SinglePlanOptions {
+  /// Opt. 2: memoize subplans by (atom set, head) so identical subqueries
+  /// become shared DAG nodes, evaluated once (the paper's views).
+  bool reuse_common_subplans = true;
+  PlanEnumOptions enum_opts;
+};
+
+/// Builds the single min-plan of Algorithm 2. Without subplan reuse the
+/// result is a tree (Figure 4b); with reuse it is a DAG (Figure 4c).
+Result<PlanPtr> BuildSinglePlan(const ConjunctiveQuery& q,
+                                const SchemaKnowledge& sk,
+                                const SinglePlanOptions& opts = {});
+
+}  // namespace dissodb
+
+#endif  // DISSODB_DISSOCIATION_SINGLE_PLAN_H_

@@ -1,0 +1,45 @@
+// DissoDB — approximate lifted inference with probabilistic databases.
+//
+// Umbrella header exposing the full public API. See README.md for a
+// quickstart and DESIGN.md for the architecture.
+#ifndef DISSODB_DISSODB_H_
+#define DISSODB_DISSODB_H_
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+#include "src/common/value.h"
+#include "src/dissociation/counting.h"
+#include "src/dissociation/dissociation.h"
+#include "src/dissociation/lattice.h"
+#include "src/dissociation/minimal_plans.h"
+#include "src/dissociation/propagation.h"
+#include "src/dissociation/single_plan.h"
+#include "src/exec/deterministic.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/operators.h"
+#include "src/exec/ranking.h"
+#include "src/exec/rel.h"
+#include "src/exec/semijoin.h"
+#include "src/infer/exact.h"
+#include "src/infer/mc.h"
+#include "src/infer/query_inference.h"
+#include "src/lineage/formula.h"
+#include "src/lineage/lineage.h"
+#include "src/metrics/ap.h"
+#include "src/plan/plan.h"
+#include "src/plan/plan_print.h"
+#include "src/plan/sql_gen.h"
+#include "src/query/analysis.h"
+#include "src/query/cq.h"
+#include "src/query/cuts.h"
+#include "src/query/parser.h"
+#include "src/storage/database.h"
+#include "src/storage/schema.h"
+#include "src/storage/table.h"
+#include "src/workload/random_instance.h"
+#include "src/workload/synthetic.h"
+#include "src/workload/tpch.h"
+
+#endif  // DISSODB_DISSODB_H_

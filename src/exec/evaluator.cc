@@ -1,0 +1,102 @@
+#include "src/exec/evaluator.h"
+
+#include "src/exec/operators.h"
+
+namespace dissodb {
+
+Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
+    const PlanPtr& plan) {
+  auto it = cache_.find(plan.get());
+  if (it != cache_.end()) return it->second;
+  ++nodes_evaluated_;
+
+  std::shared_ptr<const Rel> result;
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      const Table* override_table = nullptr;
+      auto oit = overrides_.find(plan->atom_idx);
+      if (oit != overrides_.end()) override_table = oit->second;
+      auto rel = ScanAtom(db_, q_, plan->atom_idx, override_table);
+      if (!rel.ok()) return rel.status();
+      result = std::make_shared<const Rel>(std::move(*rel));
+      break;
+    }
+    case PlanNode::Kind::kProject: {
+      auto child = Evaluate(plan->children[0]);
+      if (!child.ok()) return child.status();
+      // Virtual (dissociated) variables may appear in the node's head but
+      // not in the materialized child; project onto what exists.
+      VarMask keep = plan->head & (*child)->var_mask();
+      result = std::make_shared<const Rel>(
+          ProjectIndependent(**child, keep));
+      break;
+    }
+    case PlanNode::Kind::kJoin: {
+      std::vector<std::shared_ptr<const Rel>> inputs;
+      for (const auto& c : plan->children) {
+        auto r = Evaluate(c);
+        if (!r.ok()) return r.status();
+        inputs.push_back(*r);
+      }
+      // Greedy join order: start from the smallest input, then repeatedly
+      // join the smallest input sharing a variable with the accumulated
+      // result (falling back to a cartesian product only when forced).
+      std::vector<bool> used(inputs.size(), false);
+      size_t first = 0;
+      for (size_t i = 1; i < inputs.size(); ++i) {
+        if (inputs[i]->NumRows() < inputs[first]->NumRows()) first = i;
+      }
+      used[first] = true;
+      std::shared_ptr<const Rel> current = inputs[first];
+      for (size_t step = 1; step < inputs.size(); ++step) {
+        int best = -1;
+        bool best_shares = false;
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          if (used[i]) continue;
+          bool shares = (inputs[i]->var_mask() & current->var_mask()) != 0;
+          if (best < 0 || (shares && !best_shares) ||
+              (shares == best_shares &&
+               inputs[i]->NumRows() < inputs[best]->NumRows())) {
+            best = static_cast<int>(i);
+            best_shares = shares;
+          }
+        }
+        used[best] = true;
+        current = std::make_shared<const Rel>(HashJoin(*current, *inputs[best]));
+      }
+      result = current;
+      break;
+    }
+    case PlanNode::Kind::kMin: {
+      std::vector<Rel> rels;
+      for (const auto& c : plan->children) {
+        auto r = Evaluate(c);
+        if (!r.ok()) return r.status();
+        rels.push_back(**r);  // copy; min inputs are usually small
+      }
+      auto merged = MinMerge(rels);
+      if (!merged.ok()) return merged.status();
+      result = std::make_shared<const Rel>(std::move(*merged));
+      break;
+    }
+  }
+  cache_.emplace(plan.get(), result);
+  return result;
+}
+
+Result<Rel> EvaluatePlansSeparately(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::vector<PlanPtr>& plans,
+    const std::unordered_map<int, const Table*>& overrides) {
+  std::vector<Rel> results;
+  for (const auto& p : plans) {
+    PlanEvaluator ev(db, q);  // fresh evaluator: no cross-plan sharing
+    for (const auto& [idx, table] : overrides) ev.SetAtomTable(idx, table);
+    auto r = ev.Evaluate(p);
+    if (!r.ok()) return r.status();
+    results.push_back(**r);
+  }
+  return MinMerge(results);
+}
+
+}  // namespace dissodb

@@ -1,0 +1,58 @@
+// Plan evaluation with extensional (score) semantics.
+//
+// The evaluator caches results by DAG node identity, so hash-consed shared
+// subplans (Opt. 2, the paper's views) are computed exactly once.
+#ifndef DISSODB_EXEC_EVALUATOR_H_
+#define DISSODB_EXEC_EVALUATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/rel.h"
+#include "src/plan/plan.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// \brief Evaluates plans for one query over one database.
+class PlanEvaluator {
+ public:
+  PlanEvaluator(const Database& db, const ConjunctiveQuery& q)
+      : db_(db), q_(q) {}
+
+  /// Overrides the table bound to `atom_idx` (per-query selections or
+  /// semi-join-reduced inputs). The pointer must outlive the evaluator.
+  void SetAtomTable(int atom_idx, const Table* table) {
+    overrides_[atom_idx] = table;
+  }
+
+  /// Evaluates `plan`; results of shared nodes are cached by node identity
+  /// for the lifetime of the evaluator.
+  Result<std::shared_ptr<const Rel>> Evaluate(const PlanPtr& plan);
+
+  /// Number of plan-node evaluations actually executed (cache misses).
+  size_t nodes_evaluated() const { return nodes_evaluated_; }
+
+ private:
+  const Database& db_;
+  const ConjunctiveQuery& q_;
+  std::unordered_map<int, const Table*> overrides_;
+  std::unordered_map<const PlanNode*, std::shared_ptr<const Rel>> cache_;
+  size_t nodes_evaluated_ = 0;
+};
+
+/// Evaluates each plan independently (no sharing) and min-merges the
+/// per-answer scores: the naive "evaluate all minimal plans" strategy that
+/// Opt. 1-3 improve upon.
+Result<Rel> EvaluatePlansSeparately(const Database& db,
+                                    const ConjunctiveQuery& q,
+                                    const std::vector<PlanPtr>& plans,
+                                    const std::unordered_map<int, const Table*>&
+                                        overrides = {});
+
+}  // namespace dissodb
+
+#endif  // DISSODB_EXEC_EVALUATOR_H_

@@ -1,0 +1,231 @@
+#include "src/exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+
+namespace dissodb {
+
+Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
+                     int atom_idx, const Table* table) {
+  const Atom& atom = q.atom(atom_idx);
+  if (table == nullptr) {
+    auto t = db.GetTable(atom.relation);
+    if (!t.ok()) return t.status();
+    table = *t;
+  }
+  if (table->arity() != atom.arity()) {
+    return Status::InvalidArgument("atom " + atom.relation +
+                                   " arity mismatch with table");
+  }
+  // First column position of each distinct variable, plus equality checks
+  // for repeated variables and constants.
+  std::vector<VarId> vars = MaskToVars(q.AtomMask(atom_idx));
+  std::vector<int> first_pos(vars.size(), -1);
+  struct EqCheck {
+    int pos;
+    int other_pos;  // -1 when comparing against a constant
+    Value constant;
+  };
+  std::vector<EqCheck> checks;
+  for (int p = 0; p < atom.arity(); ++p) {
+    const Term& t = atom.terms[p];
+    if (!t.is_var) {
+      checks.push_back(EqCheck{p, -1, t.constant});
+      continue;
+    }
+    int vi = static_cast<int>(
+        std::lower_bound(vars.begin(), vars.end(), t.var) - vars.begin());
+    if (first_pos[vi] < 0) {
+      first_pos[vi] = p;
+    } else {
+      checks.push_back(EqCheck{p, first_pos[vi], Value()});
+    }
+  }
+
+  Rel out(vars);
+  out.Reserve(table->NumRows());
+  std::vector<Value> row(vars.size());
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    auto src = table->Row(r);
+    bool pass = true;
+    for (const auto& c : checks) {
+      const Value& lhs = src[c.pos];
+      const Value rhs = c.other_pos >= 0 ? src[c.other_pos] : c.constant;
+      if (lhs != rhs) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (size_t i = 0; i < vars.size(); ++i) row[i] = src[first_pos[i]];
+    out.AddRow(row, table->Prob(r));
+  }
+  return out;
+}
+
+Rel HashJoin(const Rel& left, const Rel& right) {
+  const Rel& build = left.NumRows() <= right.NumRows() ? left : right;
+  const Rel& probe = left.NumRows() <= right.NumRows() ? right : left;
+
+  VarMask shared = build.var_mask() & probe.var_mask();
+  std::vector<int> build_key, probe_key;
+  for (VarId v : MaskToVars(shared)) {
+    build_key.push_back(build.ColIndex(v));
+    probe_key.push_back(probe.ColIndex(v));
+  }
+
+  std::vector<VarId> out_vars = MaskToVars(build.var_mask() | probe.var_mask());
+  Rel out(out_vars);
+
+  // Output assembly: for each output column, where to read it from.
+  struct Src {
+    bool from_build;
+    int col;
+  };
+  std::vector<Src> src;
+  src.reserve(out_vars.size());
+  for (VarId v : out_vars) {
+    int bc = build.ColIndex(v);
+    if (bc >= 0) {
+      src.push_back(Src{true, bc});
+    } else {
+      src.push_back(Src{false, probe.ColIndex(v)});
+    }
+  }
+
+  std::unordered_map<size_t, std::vector<uint32_t>> ht;
+  ht.reserve(build.NumRows() * 2);
+  for (size_t r = 0; r < build.NumRows(); ++r) {
+    ht[HashRowKey(build.Row(r), build_key)].push_back(
+        static_cast<uint32_t>(r));
+  }
+
+  std::vector<Value> row(out_vars.size());
+  for (size_t pr = 0; pr < probe.NumRows(); ++pr) {
+    auto p_row = probe.Row(pr);
+    auto it = ht.find(HashRowKey(p_row, probe_key));
+    if (it == ht.end()) continue;
+    for (uint32_t br : it->second) {
+      auto b_row = build.Row(br);
+      if (!RowKeyEquals(b_row, build_key, p_row, probe_key)) continue;
+      for (size_t i = 0; i < src.size(); ++i) {
+        row[i] = src[i].from_build ? b_row[src[i].col] : p_row[src[i].col];
+      }
+      out.AddRow(row, build.Score(br) * probe.Score(pr));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared grouping loop for both projection flavors.
+template <typename Init, typename Update>
+Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
+  assert((keep_mask & ~in.var_mask()) == 0);
+  std::vector<VarId> keep_vars = MaskToVars(keep_mask);
+  std::vector<int> key_pos;
+  key_pos.reserve(keep_vars.size());
+  for (VarId v : keep_vars) key_pos.push_back(in.ColIndex(v));
+
+  Rel out(keep_vars);
+  // Group index: hash -> list of output row indices (for collision checks we
+  // compare against the already-emitted output row).
+  std::unordered_map<size_t, std::vector<uint32_t>> groups;
+  std::vector<double> acc;  // accumulator per output row
+  std::vector<int> out_identity(keep_vars.size());
+  for (size_t i = 0; i < keep_vars.size(); ++i) {
+    out_identity[i] = static_cast<int>(i);
+  }
+  std::vector<Value> key(keep_vars.size());
+  for (size_t r = 0; r < in.NumRows(); ++r) {
+    auto row = in.Row(r);
+    size_t h = HashRowKey(row, key_pos);
+    auto& bucket = groups[h];
+    int found = -1;
+    for (uint32_t out_r : bucket) {
+      if (RowKeyEquals(out.Row(out_r), out_identity, row, key_pos)) {
+        found = static_cast<int>(out_r);
+        break;
+      }
+    }
+    if (found < 0) {
+      for (size_t i = 0; i < key_pos.size(); ++i) key[i] = row[key_pos[i]];
+      out.AddRow(key, 0.0);
+      found = static_cast<int>(out.NumRows()) - 1;
+      bucket.push_back(static_cast<uint32_t>(found));
+      acc.push_back(init(in.Score(r)));
+    } else {
+      acc[found] = update(acc[found], in.Score(r));
+    }
+  }
+  for (size_t r = 0; r < out.NumRows(); ++r) out.SetScore(r, acc[r]);
+  return out;
+}
+
+}  // namespace
+
+Rel ProjectIndependent(const Rel& in, VarMask keep_mask) {
+  // Accumulate the complement product: acc = prod(1 - s_i); final score is
+  // 1 - acc, computed at the end by rewriting accumulators.
+  Rel out = ProjectImpl(
+      in, keep_mask, [](double s) { return 1.0 - s; },
+      [](double acc, double s) { return acc * (1.0 - s); });
+  for (size_t r = 0; r < out.NumRows(); ++r) {
+    out.SetScore(r, 1.0 - out.Score(r));
+  }
+  return out;
+}
+
+Rel ProjectDistinct(const Rel& in, VarMask keep_mask) {
+  return ProjectImpl(
+      in, keep_mask, [](double) { return 1.0; },
+      [](double, double) { return 1.0; });
+}
+
+Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
+  if (inputs.empty()) return Status::InvalidArgument("MinMerge of nothing");
+  const VarMask mask = inputs[0].var_mask();
+  for (const auto& r : inputs) {
+    if (r.var_mask() != mask) {
+      return Status::InvalidArgument("MinMerge inputs differ in variables");
+    }
+  }
+  if (inputs.size() == 1) return inputs[0];
+
+  const int arity = inputs[0].arity();
+  std::vector<int> identity(arity);
+  for (int i = 0; i < arity; ++i) identity[i] = i;
+
+  Rel out(inputs[0].vars());
+  std::unordered_map<size_t, std::vector<uint32_t>> index;
+  std::vector<double> best;
+  for (const auto& in : inputs) {
+    for (size_t r = 0; r < in.NumRows(); ++r) {
+      auto row = in.Row(r);
+      size_t h = HashRowKey(row, identity);
+      auto& bucket = index[h];
+      int found = -1;
+      for (uint32_t out_r : bucket) {
+        if (RowKeyEquals(out.Row(out_r), identity, row, identity)) {
+          found = static_cast<int>(out_r);
+          break;
+        }
+      }
+      if (found < 0) {
+        out.AddRow(row, 0.0);
+        bucket.push_back(static_cast<uint32_t>(out.NumRows()) - 1);
+        best.push_back(in.Score(r));
+      } else {
+        best[found] = std::min(best[found], in.Score(r));
+      }
+    }
+  }
+  for (size_t r = 0; r < out.NumRows(); ++r) out.SetScore(r, best[r]);
+  return out;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,41 @@
+// Relational operators with extensional probability semantics (Def. 4):
+// joins multiply scores, projections-with-duplicate-elimination combine
+// scores as 1 - prod(1 - s), and Min merges score-equivalent results.
+#ifndef DISSODB_EXEC_OPERATORS_H_
+#define DISSODB_EXEC_OPERATORS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/rel.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// Scans the table bound to atom `atom_idx`, applying constant selections
+/// and repeated-variable equalities, and emitting the atom's distinct
+/// variables as columns. `table` overrides the catalog binding (used for
+/// per-query selections and semi-join-reduced inputs).
+Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
+                     int atom_idx, const Table* table = nullptr);
+
+/// Natural hash join; scores multiply.
+Rel HashJoin(const Rel& left, const Rel& right);
+
+/// Projection with duplicate elimination onto `keep_mask` (must be a subset
+/// of the input variables); scores combine independently:
+/// s(group) = 1 - prod(1 - s_i).
+Rel ProjectIndependent(const Rel& in, VarMask keep_mask);
+
+/// Deterministic projection: distinct rows, scores forced to 1.
+Rel ProjectDistinct(const Rel& in, VarMask keep_mask);
+
+/// Per-row minimum across score-equivalent inputs (same variable sets and,
+/// for plans of the same query, the same row sets). Rows present in only
+/// some inputs keep the minimum over the inputs containing them.
+Result<Rel> MinMerge(const std::vector<Rel>& inputs);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_EXEC_OPERATORS_H_

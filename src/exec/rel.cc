@@ -1,0 +1,64 @@
+#include "src/exec/rel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/string_util.h"
+
+namespace dissodb {
+
+Rel::Rel(std::vector<VarId> vars) : vars_(std::move(vars)) {
+  assert(std::is_sorted(vars_.begin(), vars_.end()));
+  for (VarId v : vars_) mask_ |= MaskOf(v);
+}
+
+void Rel::AddRow(std::span<const Value> row, double score) {
+  assert(static_cast<int>(row.size()) == arity());
+  if (arity() == 0) {
+    ++zero_arity_rows_;
+  } else {
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+  scores_.push_back(score);
+}
+
+int Rel::ColIndex(VarId v) const {
+  auto it = std::lower_bound(vars_.begin(), vars_.end(), v);
+  if (it == vars_.end() || *it != v) return -1;
+  return static_cast<int>(it - vars_.begin());
+}
+
+std::string Rel::ToString(const ConjunctiveQuery& q, size_t max_rows) const {
+  std::vector<std::string> names;
+  for (VarId v : vars_) names.push_back(q.var_name(v));
+  std::string out = "Rel(" + Join(names, ",") + ") [" +
+                    std::to_string(NumRows()) + " rows]\n";
+  for (size_t r = 0; r < NumRows() && r < max_rows; ++r) {
+    out += "  (";
+    for (int c = 0; c < arity(); ++c) {
+      if (c > 0) out += ", ";
+      out += At(r, c).ToString();
+    }
+    out += StrFormat(") score=%.6f\n", Score(r));
+  }
+  if (NumRows() > max_rows) out += "  ...\n";
+  return out;
+}
+
+size_t HashRowKey(std::span<const Value> row, std::span<const int> positions) {
+  size_t h = 0x2545f491;
+  for (int p : positions) HashCombine(&h, row[p].Hash());
+  return h;
+}
+
+bool RowKeyEquals(std::span<const Value> a, std::span<const int> pa,
+                  std::span<const Value> b, std::span<const int> pb) {
+  assert(pa.size() == pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (a[pa[i]] != b[pb[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace dissodb

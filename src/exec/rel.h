@@ -1,0 +1,65 @@
+// Intermediate results of plan evaluation: a bag of rows over a set of
+// query variables, each row carrying a probability score.
+#ifndef DISSODB_EXEC_REL_H_
+#define DISSODB_EXEC_REL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+/// \brief Columns are query variables in ascending VarId order (canonical),
+/// so relations over the same variable set align positionally.
+class Rel {
+ public:
+  explicit Rel(std::vector<VarId> vars);
+
+  static Rel ForMask(VarMask mask) { return Rel(MaskToVars(mask)); }
+
+  const std::vector<VarId>& vars() const { return vars_; }
+  VarMask var_mask() const { return mask_; }
+  int arity() const { return static_cast<int>(vars_.size()); }
+  size_t NumRows() const {
+    return arity() == 0 ? zero_arity_rows_ : data_.size() / arity();
+  }
+
+  void Reserve(size_t rows) {
+    data_.reserve(rows * arity());
+    scores_.reserve(rows);
+  }
+  void AddRow(std::span<const Value> row, double score);
+
+  std::span<const Value> Row(size_t r) const {
+    return {data_.data() + r * arity(), static_cast<size_t>(arity())};
+  }
+  Value At(size_t r, int c) const { return data_[r * arity() + c]; }
+  double Score(size_t r) const { return scores_[r]; }
+  void SetScore(size_t r, double s) { scores_[r] = s; }
+
+  /// Column position of variable `v`, or -1.
+  int ColIndex(VarId v) const;
+
+  std::string ToString(const ConjunctiveQuery& q, size_t max_rows = 20) const;
+
+ private:
+  std::vector<VarId> vars_;  // ascending
+  VarMask mask_ = 0;
+  std::vector<Value> data_;
+  std::vector<double> scores_;
+  size_t zero_arity_rows_ = 0;
+};
+
+/// Hashes the values of `row` at `positions`.
+size_t HashRowKey(std::span<const Value> row, std::span<const int> positions);
+
+/// True iff the two rows agree on their respective key positions.
+bool RowKeyEquals(std::span<const Value> a, std::span<const int> pa,
+                  std::span<const Value> b, std::span<const int> pb);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_EXEC_REL_H_

@@ -1,0 +1,116 @@
+#include "src/exec/semijoin.h"
+
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/exec/operators.h"
+#include "src/exec/rel.h"
+
+namespace dissodb {
+
+namespace {
+
+/// Positions (column indices) of the variables `vars` in atom `atom_idx`,
+/// using the first occurrence of each variable.
+std::vector<int> VarPositions(const ConjunctiveQuery& q, int atom_idx,
+                              const std::vector<VarId>& vars) {
+  const Atom& a = q.atom(atom_idx);
+  std::vector<int> pos;
+  for (VarId v : vars) {
+    for (int p = 0; p < a.arity(); ++p) {
+      if (a.terms[p].is_var && a.terms[p].var == v) {
+        pos.push_back(p);
+        break;
+      }
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> SemiJoinReduce(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides,
+    SemiJoinStats* stats, int max_passes) {
+  const int m = q.num_atoms();
+  std::vector<Table> tables;
+  tables.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    const Table* src = nullptr;
+    auto it = overrides.find(i);
+    if (it != overrides.end()) {
+      src = it->second;
+    } else {
+      auto t = db.GetTable(q.atom(i).relation);
+      if (!t.ok()) return t.status();
+      src = *t;
+    }
+    if (src->arity() != q.atom(i).arity()) {
+      return Status::InvalidArgument("atom " + q.atom(i).relation +
+                                     " arity mismatch");
+    }
+    // Start from the constant/repeated-variable filtered table so that
+    // selections also prune join partners.
+    const Atom& a = q.atom(i);
+    tables.push_back(src->Filter([&](std::span<const Value> row) {
+      std::unordered_map<VarId, Value> bound;
+      for (int p = 0; p < a.arity(); ++p) {
+        const Term& t = a.terms[p];
+        if (!t.is_var) {
+          if (row[p] != t.constant) return false;
+        } else {
+          auto [bit, inserted] = bound.try_emplace(t.var, row[p]);
+          if (!inserted && bit->second != row[p]) return false;
+        }
+      }
+      return true;
+    }));
+    if (stats) stats->rows_before.push_back(tables.back().NumRows());
+  }
+
+  // Shared-variable pairs.
+  struct Pair {
+    int a, b;
+    std::vector<VarId> shared;
+  };
+  std::vector<Pair> pairs;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      // Head variables participate in joins too (per-answer grouping), so
+      // reduce on every shared variable.
+      VarMask shared = q.AtomMask(i) & q.AtomMask(j);
+      if (shared) pairs.push_back(Pair{i, j, MaskToVars(shared)});
+    }
+  }
+
+  int pass = 0;
+  bool changed = true;
+  while (changed && pass < max_passes) {
+    changed = false;
+    ++pass;
+    for (const auto& pr : pairs) {
+      std::vector<int> pos_a = VarPositions(q, pr.a, pr.shared);
+      std::vector<int> pos_b = VarPositions(q, pr.b, pr.shared);
+      // Key set from table b.
+      std::unordered_set<size_t> keys;
+      keys.reserve(tables[pr.b].NumRows() * 2);
+      for (size_t r = 0; r < tables[pr.b].NumRows(); ++r) {
+        keys.insert(HashRowKey(tables[pr.b].Row(r), pos_b));
+      }
+      size_t before = tables[pr.a].NumRows();
+      tables[pr.a] = tables[pr.a].Filter([&](std::span<const Value> row) {
+        return keys.count(HashRowKey(row, pos_a)) > 0;
+      });
+      if (tables[pr.a].NumRows() != before) changed = true;
+    }
+  }
+  if (stats) {
+    stats->passes = pass;
+    for (int i = 0; i < m; ++i) stats->rows_after.push_back(tables[i].NumRows());
+  }
+  return tables;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,38 @@
+// Optimization 3 (Section 4.3): deterministic semi-join reduction.
+//
+// Before any probabilistic evaluation, every input relation is reduced to
+// the tuples that can participate in some full join of the query. Removed
+// tuples appear in no lineage (of q or of any dissociation q^Delta, whose
+// joins are strictly finer), so all plan scores are unchanged while the
+// expensive probabilistic group-bys see far fewer rows.
+#ifndef DISSODB_EXEC_SEMIJOIN_H_
+#define DISSODB_EXEC_SEMIJOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+struct SemiJoinStats {
+  std::vector<size_t> rows_before;
+  std::vector<size_t> rows_after;
+  int passes = 0;
+};
+
+/// Pairwise semi-join reduction to fixpoint (bounded by `max_passes`):
+/// repeatedly removes from each atom's table the tuples with no match in
+/// some other atom on their shared variables. Returns one reduced table per
+/// atom. For acyclic (e.g. hierarchical or chain/star) queries two passes
+/// reach the full reduction.
+Result<std::vector<Table>> SemiJoinReduce(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides = {},
+    SemiJoinStats* stats = nullptr, int max_passes = 4);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_EXEC_SEMIJOIN_H_

@@ -1,0 +1,74 @@
+#include "src/infer/mc.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dissodb {
+
+double NaiveDnfEstimate(const Dnf& f, size_t samples, Rng* rng) {
+  if (f.terms.empty() || samples == 0) return 0.0;
+  const int n = f.num_vars();
+  std::vector<bool> world(n);
+  size_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    for (int v = 0; v < n; ++v) world[v] = rng->NextBernoulli(f.probs[v]);
+    if (f.Evaluate(world)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double KarpLubyEstimate(const Dnf& f, size_t samples, Rng* rng) {
+  if (f.terms.empty() || samples == 0) return 0.0;
+  const int n = f.num_vars();
+  const size_t t = f.num_terms();
+
+  // Term weights P(T_i) and their cumulative distribution.
+  std::vector<double> weight(t);
+  double total = 0.0;
+  for (size_t i = 0; i < t; ++i) {
+    double w = 1.0;
+    for (int v : f.terms[i]) w *= f.probs[v];
+    weight[i] = w;
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  std::vector<double> cdf(t);
+  double acc = 0.0;
+  for (size_t i = 0; i < t; ++i) {
+    acc += weight[i] / total;
+    cdf[i] = acc;
+  }
+
+  std::vector<bool> world(n);
+  std::vector<bool> forced(n);
+  size_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    // Choose a term proportionally to its probability.
+    double u = rng->NextDouble();
+    size_t i = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (i >= t) i = t - 1;
+    // Sample a world conditioned on T_i true.
+    std::fill(forced.begin(), forced.end(), false);
+    for (int v : f.terms[i]) forced[v] = true;
+    for (int v = 0; v < n; ++v) {
+      world[v] = forced[v] ? true : rng->NextBernoulli(f.probs[v]);
+    }
+    // Count when T_i is the first satisfied term.
+    bool first = true;
+    for (size_t j = 0; j < i && first; ++j) {
+      bool sat = true;
+      for (int v : f.terms[j]) {
+        if (!world[v]) {
+          sat = false;
+          break;
+        }
+      }
+      if (sat) first = false;
+    }
+    if (first) ++hits;
+  }
+  return total * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace dissodb

@@ -1,0 +1,25 @@
+// Monte Carlo estimators for DNF probability.
+//
+// NaiveDnfEstimate is the paper's MC(x): sample every variable, evaluate the
+// formula, average. KarpLubyEstimate is the classical FPRAS coverage
+// estimator — an extension beyond the paper's experiments, useful when the
+// formula probability is tiny.
+#ifndef DISSODB_INFER_MC_H_
+#define DISSODB_INFER_MC_H_
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/lineage/formula.h"
+
+namespace dissodb {
+
+/// Naive estimator: fraction of `samples` worlds satisfying F.
+double NaiveDnfEstimate(const Dnf& f, size_t samples, Rng* rng);
+
+/// Karp-Luby-Madras coverage estimator (unbiased; relative-error FPRAS).
+/// Falls back to 0 for formulas with no terms.
+double KarpLubyEstimate(const Dnf& f, size_t samples, Rng* rng);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_INFER_MC_H_

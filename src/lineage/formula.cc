@@ -1,0 +1,66 @@
+#include "src/lineage/formula.h"
+
+#include <algorithm>
+
+namespace dissodb {
+
+void Dnf::Normalize() {
+  for (auto& t : terms) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+}
+
+bool Dnf::Evaluate(const std::vector<bool>& assignment) const {
+  for (const auto& t : terms) {
+    bool sat = true;
+    for (int v : t) {
+      if (!assignment[v]) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+std::string Dnf::ToString() const {
+  if (terms.empty()) return "false";
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " v ";
+    if (terms[i].empty()) {
+      out += "true";
+      continue;
+    }
+    for (size_t j = 0; j < terms[i].size(); ++j) {
+      if (j > 0) out += ".";
+      out += "x" + std::to_string(terms[i][j]);
+    }
+  }
+  return out;
+}
+
+Result<double> BruteForceProbability(const Dnf& f) {
+  const int n = f.num_vars();
+  if (n > 25) {
+    return Status::OutOfRange("brute force limited to 25 variables");
+  }
+  double total = 0.0;
+  std::vector<bool> assignment(n);
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    double p = 1.0;
+    for (int v = 0; v < n; ++v) {
+      bool on = (bits >> v) & 1;
+      assignment[v] = on;
+      p *= on ? f.probs[v] : 1.0 - f.probs[v];
+    }
+    if (p > 0 && f.Evaluate(assignment)) total += p;
+  }
+  return total;
+}
+
+}  // namespace dissodb

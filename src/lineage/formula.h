@@ -1,0 +1,42 @@
+// Monotone DNF formulas over independent Boolean variables.
+//
+// The lineage of a self-join-free CQ answer is such a formula: one term per
+// satisfying assignment, one variable per participating base tuple
+// (Section 2, "Boolean Formulas").
+#ifndef DISSODB_LINEAGE_FORMULA_H_
+#define DISSODB_LINEAGE_FORMULA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dissodb {
+
+/// \brief A monotone DNF over dense variable ids [0, num_vars) with a
+/// probability per variable.
+struct Dnf {
+  std::vector<std::vector<int>> terms;  ///< each term: sorted distinct vars
+  std::vector<double> probs;            ///< probability per variable
+
+  int num_vars() const { return static_cast<int>(probs.size()); }
+  size_t num_terms() const { return terms.size(); }
+
+  /// Sorts each term and the term list; removes duplicate terms and
+  /// duplicate variables inside terms.
+  void Normalize();
+
+  /// Evaluates under a complete assignment (bit i of `assignment[i]`).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  std::string ToString() const;
+};
+
+/// Brute-force P(F) by enumerating all assignments; requires <= 25 vars.
+/// Reference implementation for testing the WMC engine.
+Result<double> BruteForceProbability(const Dnf& f);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_LINEAGE_FORMULA_H_

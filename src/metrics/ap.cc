@@ -1,0 +1,72 @@
+#include "src/metrics/ap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dissodb {
+
+std::vector<double> TopKMembershipProbability(const std::vector<double>& scores,
+                                              int k) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<double> prob(n, 0.0);
+  size_t taken = 0;
+  size_t i = 0;
+  while (i < n && taken < static_cast<size_t>(k)) {
+    // Tie group [i, j).
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    size_t group = j - i;
+    size_t remaining = static_cast<size_t>(k) - taken;
+    if (group <= remaining) {
+      for (size_t g = i; g < j; ++g) prob[order[g]] = 1.0;
+      taken += group;
+    } else {
+      double p = static_cast<double>(remaining) / static_cast<double>(group);
+      for (size_t g = i; g < j; ++g) prob[order[g]] = p;
+      taken = static_cast<size_t>(k);
+    }
+    i = j;
+  }
+  return prob;
+}
+
+double AveragePrecisionAtK(const std::vector<double>& ground_truth,
+                           const std::vector<double>& system, int depth) {
+  const size_t n = ground_truth.size();
+  if (n == 0 || system.size() != n) return 0.0;
+  double ap = 0.0;
+  for (int k = 1; k <= depth; ++k) {
+    std::vector<double> gt_k = TopKMembershipProbability(ground_truth, k);
+    std::vector<double> sys_k = TopKMembershipProbability(system, k);
+    // Tie-breaks of the two rankings are independent, so the expected
+    // overlap is the sum of membership-probability products.
+    double expected_overlap = 0.0;
+    for (size_t i = 0; i < n; ++i) expected_overlap += gt_k[i] * sys_k[i];
+    ap += expected_overlap / static_cast<double>(k);
+  }
+  return ap / static_cast<double>(depth);
+}
+
+double RandomBaselineAP(size_t num_answers, int depth) {
+  if (num_answers == 0) return 0.0;
+  double ap = 0.0;
+  for (int k = 1; k <= depth; ++k) {
+    double kk = std::min<double>(k, static_cast<double>(num_answers));
+    // E|topk ∩ topk_GT| with all system scores tied = k * (k/n) capped.
+    ap += kk / static_cast<double>(num_answers);
+  }
+  return ap / static_cast<double>(depth);
+}
+
+double MeanStd::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace dissodb

@@ -1,0 +1,54 @@
+// Ranking-quality metrics (Section 5 "Ranking quality"):
+// AP@10 with analytic tie handling (McSherry & Najork style expectations)
+// and MAP aggregation.
+//
+// The paper's definition: AP@10 = (1/10) * sum_{k=1..10} P@k, where P@k is
+// the fraction of the top-k answers by ground truth that are also in the
+// top-k answers returned. Ties (in either ranking) are resolved in
+// expectation over uniformly random tie-breaks, computed in closed form.
+// With n tied answers this gives the "random average precision" baseline
+// (1/10) * sum_k k/n, e.g. 0.220 for n = 25.
+#ifndef DISSODB_METRICS_AP_H_
+#define DISSODB_METRICS_AP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dissodb {
+
+/// Expected AP@`depth` of the ranking induced by `system` scores against the
+/// ranking induced by `ground_truth` scores. Both vectors index the same
+/// answer set (element i = the same answer). Higher score = better rank.
+double AveragePrecisionAtK(const std::vector<double>& ground_truth,
+                           const std::vector<double>& system, int depth = 10);
+
+/// The no-information baseline: every system score tied.
+double RandomBaselineAP(size_t num_answers, int depth = 10);
+
+/// Per-answer probability of membership in the top-k under random
+/// tie-breaking (helper; exposed for tests).
+std::vector<double> TopKMembershipProbability(const std::vector<double>& scores,
+                                              int k);
+
+/// \brief Streaming mean/stddev aggregator for MAP over repeated experiments.
+class MeanStd {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_METRICS_AP_H_

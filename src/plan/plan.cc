@@ -1,0 +1,123 @@
+#include "src/plan/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dissodb {
+
+PlanPtr MakeScan(int atom_idx, VarMask atom_vars, VarMask extra_vars) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanNode::Kind::kScan;
+  n->atom_idx = atom_idx;
+  n->extra_vars = extra_vars;
+  n->head = atom_vars | extra_vars;
+  return n;
+}
+
+PlanPtr MakeProject(VarMask head, PlanPtr child) {
+  assert((head & ~child->head) == 0 && "projection must narrow the head");
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanNode::Kind::kProject;
+  n->head = head;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeJoin(std::vector<PlanPtr> children) {
+  assert(children.size() >= 2);
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanNode::Kind::kJoin;
+  for (const auto& c : children) n->head |= c->head;
+  n->children = std::move(children);
+  return n;
+}
+
+PlanPtr MakeMin(std::vector<PlanPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanNode::Kind::kMin;
+  n->head = children[0]->head;
+  for ([[maybe_unused]] const auto& c : children) {
+    assert(c->head == n->head && "min children must share a head");
+  }
+  n->children = std::move(children);
+  return n;
+}
+
+bool IsSafePlan(const PlanPtr& plan, VarMask head_vars) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return true;
+    case PlanNode::Kind::kProject:
+      return IsSafePlan(plan->children[0], head_vars);
+    case PlanNode::Kind::kMin:
+      // A min of safe plans is not a single safe plan; report safe only if
+      // it degenerates to one child (MakeMin collapses that case).
+      return false;
+    case PlanNode::Kind::kJoin: {
+      VarMask h = plan->children[0]->head & ~head_vars;
+      for (const auto& c : plan->children) {
+        if ((c->head & ~head_vars) != h) return false;
+        if (!IsSafePlan(c, head_vars)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t PlanAtomSet(const PlanPtr& plan) {
+  if (plan->kind == PlanNode::Kind::kScan) {
+    return uint64_t{1} << plan->atom_idx;
+  }
+  uint64_t m = 0;
+  for (const auto& c : plan->children) m |= PlanAtomSet(c);
+  return m;
+}
+
+namespace {
+void MeasureRec(const PlanNode* n, std::unordered_set<const PlanNode*>* seen,
+                size_t* tree) {
+  ++*tree;
+  seen->insert(n);
+  for (const auto& c : n->children) MeasureRec(c.get(), seen, tree);
+}
+}  // namespace
+
+PlanSize MeasurePlan(const PlanPtr& plan) {
+  std::unordered_set<const PlanNode*> seen;
+  size_t tree = 0;
+  MeasureRec(plan.get(), &seen, &tree);
+  return PlanSize{seen.size(), tree};
+}
+
+std::string CanonicalKey(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return "S" + std::to_string(plan->atom_idx) + ":" +
+             std::to_string(plan->extra_vars);
+    case PlanNode::Kind::kProject:
+      return "P" + std::to_string(plan->head) + "(" +
+             CanonicalKey(plan->children[0]) + ")";
+    case PlanNode::Kind::kJoin:
+    case PlanNode::Kind::kMin: {
+      std::vector<std::string> keys;
+      keys.reserve(plan->children.size());
+      for (const auto& c : plan->children) keys.push_back(CanonicalKey(c));
+      std::sort(keys.begin(), keys.end());
+      std::string out = plan->kind == PlanNode::Kind::kJoin ? "J[" : "M[";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out += ",";
+        out += keys[i];
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace dissodb

@@ -1,0 +1,81 @@
+// Query plan AST (Definition 4, extended).
+//
+// Grammar from the paper:  P ::= R(x) | pi_x P | Join[P1..Pk]
+// plus two extensions used by the multi-query optimizations of Section 4:
+//   Min[P1..Pk]  — per-answer minimum of sub-plan scores (Opt. 1), and
+//   DAG sharing  — identical subplans are hash-consed so the evaluator
+//                  computes them once (Opt. 2, "views").
+//
+// Scan leaves may carry *virtual* (dissociated) variables: the relation is
+// scanned as-is, but the variables participate in the plan's join structure.
+// This realizes Theorem 18: evaluating the plan on the original database
+// yields exactly P(q^Delta) without materializing the dissociated instance.
+#ifndef DISSODB_PLAN_PLAN_H_
+#define DISSODB_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// \brief One node of a plan DAG.
+struct PlanNode {
+  enum class Kind { kScan, kProject, kJoin, kMin };
+
+  Kind kind;
+  /// Output variables, including virtual (dissociated) ones.
+  VarMask head = 0;
+
+  // kScan only:
+  int atom_idx = -1;       ///< atom index in the originating query
+  VarMask extra_vars = 0;  ///< dissociated variables attached to this leaf
+
+  // kProject (1 child), kJoin / kMin (>= 2 children):
+  std::vector<PlanPtr> children;
+};
+
+/// Creates a scan leaf for atom `atom_idx` with variables `atom_vars` plus
+/// dissociated `extra_vars`; head = atom_vars | extra_vars.
+PlanPtr MakeScan(int atom_idx, VarMask atom_vars, VarMask extra_vars = 0);
+
+/// Creates a projection-with-duplicate-elimination onto `head`.
+/// `head` must be a subset of the child's head.
+PlanPtr MakeProject(VarMask head, PlanPtr child);
+
+/// Creates a natural join; head = union of child heads.
+PlanPtr MakeJoin(std::vector<PlanPtr> children);
+
+/// Creates a per-answer minimum over score-equivalent subplans (Opt. 1).
+/// All children must share the same head.
+PlanPtr MakeMin(std::vector<PlanPtr> children);
+
+/// True iff every join in the plan has children with identical heads
+/// (Definition 5), ignoring `head_vars` (the query's head variables act as
+/// per-answer constants). Safe plans compute exact probabilities
+/// (Proposition 6).
+bool IsSafePlan(const PlanPtr& plan, VarMask head_vars = 0);
+
+/// Atoms referenced below `plan` (set of atom indices as a bitmask).
+uint64_t PlanAtomSet(const PlanPtr& plan);
+
+/// Number of distinct nodes in the DAG and in the expanded tree.
+struct PlanSize {
+  size_t dag_nodes;
+  size_t tree_nodes;
+};
+PlanSize MeasurePlan(const PlanPtr& plan);
+
+/// Canonical structural key: equal strings iff plans are structurally equal
+/// up to join/min child order. Used for deduplication in tests and for
+/// hash-consing.
+std::string CanonicalKey(const PlanPtr& plan);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_PLAN_PLAN_H_

@@ -1,0 +1,111 @@
+#include "src/plan/plan_print.h"
+
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace dissodb {
+
+namespace {
+
+std::string VarList(VarMask m, const ConjunctiveQuery& q) {
+  std::vector<std::string> names;
+  for (VarId v : MaskToVars(m)) names.push_back(q.var_name(v));
+  return Join(names, ",");
+}
+
+std::string ScanString(const PlanNode& n, const ConjunctiveQuery& q) {
+  const Atom& a = q.atom(n.atom_idx);
+  std::string out = a.relation;
+  if (n.extra_vars != 0) out += "^{" + VarList(n.extra_vars, q) + "}";
+  out += "(";
+  for (int i = 0; i < a.arity(); ++i) {
+    if (i > 0) out += ",";
+    out += a.terms[i].is_var ? q.var_name(a.terms[i].var)
+                             : a.terms[i].constant.ToString();
+  }
+  if (n.extra_vars != 0) out += " | " + VarList(n.extra_vars, q);
+  out += ")";
+  return out;
+}
+
+std::string ToStringRec(const PlanPtr& p, const ConjunctiveQuery& q) {
+  switch (p->kind) {
+    case PlanNode::Kind::kScan:
+      return ScanString(*p, q);
+    case PlanNode::Kind::kProject: {
+      VarMask away = p->children[0]->head & ~p->head;
+      return "pi_{-" + VarList(away, q) + "}(" +
+             ToStringRec(p->children[0], q) + ")";
+    }
+    case PlanNode::Kind::kJoin:
+    case PlanNode::Kind::kMin: {
+      std::string out = p->kind == PlanNode::Kind::kJoin ? "Join[" : "Min[";
+      for (size_t i = 0; i < p->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToStringRec(p->children[i], q);
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+struct TreePrinter {
+  const ConjunctiveQuery& q;
+  std::unordered_map<const PlanNode*, int> view_ids;
+  std::unordered_map<const PlanNode*, int> use_count;
+  std::string out;
+
+  void CountUses(const PlanNode* n) {
+    if (++use_count[n] > 1) return;
+    for (const auto& c : n->children) CountUses(c.get());
+  }
+
+  void Print(const PlanPtr& p, int indent) {
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    auto it = view_ids.find(p.get());
+    if (it != view_ids.end()) {
+      out += pad + "V" + std::to_string(it->second) + "  (shared)\n";
+      return;
+    }
+    std::string label;
+    switch (p->kind) {
+      case PlanNode::Kind::kScan:
+        label = ScanString(*p, q);
+        break;
+      case PlanNode::Kind::kProject:
+        label = "pi[" + VarList(p->head, q) + "]";
+        break;
+      case PlanNode::Kind::kJoin:
+        label = "join[" + VarList(p->head, q) + "]";
+        break;
+      case PlanNode::Kind::kMin:
+        label = "min[" + VarList(p->head, q) + "]";
+        break;
+    }
+    if (use_count[p.get()] > 1 && p->kind != PlanNode::Kind::kScan) {
+      int id = static_cast<int>(view_ids.size()) + 1;
+      view_ids[p.get()] = id;
+      label = "V" + std::to_string(id) + " := " + label;
+    }
+    out += pad + label + "\n";
+    for (const auto& c : p->children) Print(c, indent + 1);
+  }
+};
+
+}  // namespace
+
+std::string PlanToString(const PlanPtr& plan, const ConjunctiveQuery& q) {
+  return ToStringRec(plan, q);
+}
+
+std::string PlanToTreeString(const PlanPtr& plan, const ConjunctiveQuery& q) {
+  TreePrinter tp{q, {}, {}, {}};
+  tp.CountUses(plan.get());
+  tp.Print(plan, 0);
+  return tp.out;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,23 @@
+// Human-readable plan rendering, following the paper's notation:
+//   pi_{-y} Join[R(z,x), pi_{-u}(Join[S(x,u), T^{x}(u)])]
+// Dissociated leaves print their virtual variables as superscripts (T^{x}).
+#ifndef DISSODB_PLAN_PLAN_PRINT_H_
+#define DISSODB_PLAN_PLAN_PRINT_H_
+
+#include <string>
+
+#include "src/plan/plan.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+/// One-line rendering using the paper's operator notation.
+std::string PlanToString(const PlanPtr& plan, const ConjunctiveQuery& q);
+
+/// Multi-line indented rendering; shared (hash-consed) subplans are labeled
+/// as views V1, V2, ... at first use and referenced afterwards.
+std::string PlanToTreeString(const PlanPtr& plan, const ConjunctiveQuery& q);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_PLAN_PLAN_PRINT_H_

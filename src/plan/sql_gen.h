@@ -1,0 +1,35 @@
+// SQL generation for plans (PostgreSQL dialect).
+//
+// The paper evaluates dissociation entirely inside a standard relational
+// engine by compiling each plan to SQL where joins multiply probabilities and
+// projections aggregate them as 1 - prod(1 - p), expressed with
+// EXP/SUM/LN. We run plans natively, but emit the equivalent SQL so users
+// can inspect plans or port them to an external DBMS.
+#ifndef DISSODB_PLAN_SQL_GEN_H_
+#define DISSODB_PLAN_SQL_GEN_H_
+
+#include <string>
+
+#include "src/plan/plan.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// Options for SQL rendering.
+struct SqlGenOptions {
+  /// Column name holding the tuple probability in every base relation.
+  std::string prob_column = "p";
+  /// Epsilon guard inside LN(1-p) so p=1 tuples do not produce -inf.
+  double ln_guard = 1e-12;
+};
+
+/// Renders `plan` as a SQL query with one CTE per shared subplan (Opt. 2
+/// becomes WITH-views). `db` is used only to print column names; pass a
+/// database whose catalog contains every relation in the plan.
+std::string PlanToSql(const PlanPtr& plan, const ConjunctiveQuery& q,
+                      const Database& db, const SqlGenOptions& opts = {});
+
+}  // namespace dissodb
+
+#endif  // DISSODB_PLAN_SQL_GEN_H_

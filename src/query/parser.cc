@@ -1,0 +1,191 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace dissodb {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : s_(text) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+  char Peek() {
+    SkipWs();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeStr(std::string_view lit) {
+    SkipWs();
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  /// [A-Za-z_][A-Za-z0-9_]*
+  std::string Ident() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_'))
+      ++pos_;
+    return std::string(s_.substr(start, pos_ - start));
+  }
+  /// Signed numeric literal; sets *is_double if it contains '.' or 'e'.
+  std::string Number(bool* is_double) {
+    SkipWs();
+    size_t start = pos_;
+    *is_double = false;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E') *is_double = true;
+      ++pos_;
+    }
+    return std::string(s_.substr(start, pos_ - start));
+  }
+  Result<std::string> QuotedString() {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '\'') {
+      return Status::InvalidArgument("expected opening quote");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '\'') out += s_[pos_++];
+    if (pos_ >= s_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;
+    return out;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+bool IsVariableName(const std::string& ident) {
+  return !ident.empty() && std::islower(static_cast<unsigned char>(ident[0]));
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text, StringPool* pool) {
+  Cursor c(text);
+  ConjunctiveQuery q;
+
+  std::string head_name = c.Ident();
+  if (head_name.empty()) {
+    return Status::InvalidArgument("expected query head name");
+  }
+  q.SetName(head_name);
+  if (!c.Consume('(')) {
+    return Status::InvalidArgument("expected '(' after head name");
+  }
+  if (!c.Consume(')')) {
+    for (;;) {
+      std::string v = c.Ident();
+      if (v.empty() || !IsVariableName(v)) {
+        return Status::InvalidArgument(
+            "head arguments must be lowercase variables");
+      }
+      DISSODB_RETURN_NOT_OK(q.AddHeadVar(q.AddVar(v)));
+      if (c.Consume(',')) continue;
+      if (c.Consume(')')) break;
+      return Status::InvalidArgument("expected ',' or ')' in head");
+    }
+  }
+  if (!c.ConsumeStr(":-")) {
+    return Status::InvalidArgument("expected ':-' after head");
+  }
+
+  // Body atoms.
+  for (;;) {
+    std::string rel = c.Ident();
+    if (rel.empty()) {
+      return Status::InvalidArgument("expected relation name in body");
+    }
+    if (!c.Consume('(')) {
+      return Status::InvalidArgument("expected '(' after relation " + rel);
+    }
+    Atom atom;
+    atom.relation = rel;
+    if (!c.Consume(')')) {
+      for (;;) {
+        char p = c.Peek();
+        if (p == '\'') {
+          auto s = c.QuotedString();
+          if (!s.ok()) return s.status();
+          if (pool == nullptr) {
+            return Status::InvalidArgument(
+                "string constant requires a StringPool");
+          }
+          atom.terms.push_back(
+              Term::Const(Value::StringCode(pool->Intern(*s))));
+        } else if (std::isdigit(static_cast<unsigned char>(p)) || p == '-' ||
+                   p == '+') {
+          bool is_double = false;
+          std::string n = c.Number(&is_double);
+          if (n.empty()) {
+            return Status::InvalidArgument("bad numeric literal");
+          }
+          atom.terms.push_back(Term::Const(
+              is_double ? Value::Double(std::stod(n))
+                        : Value::Int64(std::stoll(n))));
+        } else {
+          std::string ident = c.Ident();
+          if (ident.empty()) {
+            return Status::InvalidArgument("expected term in atom " + rel);
+          }
+          if (!IsVariableName(ident)) {
+            return Status::InvalidArgument(
+                "term '" + ident +
+                "' must be a lowercase variable or quoted constant");
+          }
+          atom.terms.push_back(Term::Var(q.AddVar(ident)));
+        }
+        if (c.Consume(',')) continue;
+        if (c.Consume(')')) break;
+        return Status::InvalidArgument("expected ',' or ')' in atom " + rel);
+      }
+    }
+    DISSODB_RETURN_NOT_OK(q.AddAtom(std::move(atom)));
+    if (c.Consume(',')) continue;
+    break;
+  }
+  c.Consume('.');
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after query");
+  }
+
+  // Every head variable must occur in some atom (safe-range requirement).
+  VarMask body = q.AllVarsMask();
+  for (VarId h : q.head_vars()) {
+    if (!MaskContains(body, h)) {
+      return Status::InvalidArgument("head variable '" + q.var_name(h) +
+                                     "' does not occur in the body");
+    }
+  }
+  return q;
+}
+
+}  // namespace dissodb

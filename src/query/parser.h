@@ -1,0 +1,28 @@
+// Datalog-style parser for self-join-free conjunctive queries.
+//
+// Grammar (whitespace-insensitive, optional trailing '.'):
+//   query  := head ":-" atom ("," atom)*
+//   head   := ident "(" [varlist] ")"
+//   atom   := ident "(" [termlist] ")"
+//   term   := variable | int | float | 'string'
+// Variables start with a lowercase letter; relation names with an uppercase
+// letter or are any identifier used in atom position.
+#ifndef DISSODB_QUERY_PARSER_H_
+#define DISSODB_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// Parses `text` into a query. String constants are interned into `pool`
+/// (pass nullptr to reject string constants).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    StringPool* pool = nullptr);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_QUERY_PARSER_H_

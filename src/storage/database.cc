@@ -1,0 +1,67 @@
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+int64_t StringPool::Intern(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+int64_t StringPool::Find(const std::string& s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Database::AddTable(Table table) {
+  const std::string name = table.schema().name;  // copy before the move below
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  int idx = static_cast<int>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(std::move(table)));
+  by_name_.emplace(name, idx);
+  return idx;
+}
+
+Result<Table*> Database::CreateTable(RelationSchema schema) {
+  auto r = AddTable(Table(std::move(schema)));
+  if (!r.ok()) return r.status();
+  return tables_[*r].get();
+}
+
+int Database::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  int idx = FindTable(name);
+  if (idx < 0) return Status::NotFound("no table named " + name);
+  return static_cast<const Table*>(tables_[idx].get());
+}
+
+void Database::ScaleProbabilities(double f) {
+  for (auto& t : tables_) t->ScaleProbabilities(f);
+}
+
+Database Database::Clone() const {
+  Database out;
+  for (const auto& t : tables_) {
+    auto r = out.AddTable(*t);
+    (void)r;
+  }
+  out.strings_ = strings_;
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& t : tables_) out += t->ToString();
+  return out;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,95 @@
+// Database catalog: named tables plus a shared string dictionary.
+#ifndef DISSODB_STORAGE_DATABASE_H_
+#define DISSODB_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/storage/table.h"
+
+namespace dissodb {
+
+/// Identifies one base tuple globally: (table index, row index). Used as the
+/// Boolean variable id in lineage formulas.
+struct TupleId {
+  uint32_t table;
+  uint32_t row;
+
+  uint64_t Key() const { return (static_cast<uint64_t>(table) << 32) | row; }
+  bool operator==(const TupleId& o) const {
+    return table == o.table && row == o.row;
+  }
+  bool operator<(const TupleId& o) const { return Key() < o.Key(); }
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& t) const { return Mix64(t.Key()); }
+};
+
+/// \brief Dictionary encoder for STRING values (one per database).
+class StringPool {
+ public:
+  /// Returns the code for `s`, adding it if new.
+  int64_t Intern(const std::string& s);
+  /// Looks up an existing code; -1 if absent.
+  int64_t Find(const std::string& s) const;
+  const std::string& Get(int64_t code) const { return strings_[code]; }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// \brief A tuple-independent probabilistic database: a catalog of tables.
+class Database {
+ public:
+  /// Adds a table; fails if the name already exists. Returns its index.
+  Result<int> AddTable(Table table);
+
+  /// Creates an empty table with `schema` and returns a pointer to it.
+  Result<Table*> CreateTable(RelationSchema schema);
+
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int idx) const { return *tables_[idx]; }
+  Table* mutable_table(int idx) { return tables_[idx].get(); }
+
+  /// Index of table `name`, or -1.
+  int FindTable(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  double TupleProb(TupleId id) const {
+    return tables_[id.table]->Prob(id.row);
+  }
+  bool TupleDeterministic(TupleId id) const {
+    return tables_[id.table]->schema().deterministic;
+  }
+
+  StringPool* strings() { return &strings_; }
+  const StringPool& strings() const { return strings_; }
+
+  /// Interns `s` and wraps it as a Value.
+  Value Str(const std::string& s) { return Value::StringCode(strings_.Intern(s)); }
+
+  /// Scales all probabilistic tables by `f` (Figure 5n-5p experiments).
+  void ScaleProbabilities(double f);
+
+  /// Deep copy (tables are copied; the string pool is shared content-wise).
+  Database Clone() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, int> by_name_;
+  StringPool strings_;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_DATABASE_H_

@@ -1,0 +1,22 @@
+#include "src/storage/fd.h"
+
+#include "src/common/string_util.h"
+
+namespace dissodb {
+
+std::string FunctionalDependency::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(lhs[i]);
+  }
+  out += "}->{";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(rhs[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,25 @@
+// Functional dependencies declared on relation schemas (column positions).
+//
+// FDs are schema knowledge used by Section 3.3.2 of the paper: the minimal-
+// plan algorithm chases the query through the FD closure (dissociation
+// \Delta_\Gamma) before enumerating plans.
+#ifndef DISSODB_STORAGE_FD_H_
+#define DISSODB_STORAGE_FD_H_
+
+#include <string>
+#include <vector>
+
+namespace dissodb {
+
+/// \brief A functional dependency lhs -> rhs between column positions of one
+/// relation, e.g. {0} -> {1} on S(x,y) states x determines y.
+struct FunctionalDependency {
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+
+  std::string ToString() const;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_FD_H_

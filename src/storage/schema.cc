@@ -1,0 +1,33 @@
+#include "src/storage/schema.h"
+
+#include "src/common/string_util.h"
+
+namespace dissodb {
+
+RelationSchema RelationSchema::AllInt64(const std::string& name, int arity,
+                                        bool deterministic) {
+  RelationSchema s;
+  s.name = name;
+  s.deterministic = deterministic;
+  for (int i = 0; i < arity; ++i) {
+    s.column_names.push_back("c" + std::to_string(i));
+    s.column_types.push_back(ValueType::kInt64);
+  }
+  return s;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name;
+  if (deterministic) out += "^d";
+  out += "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += column_names[i];
+    out += ":";
+    out += ValueTypeName(column_types[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dissodb

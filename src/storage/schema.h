@@ -1,0 +1,38 @@
+// Relation schemas: names, typed columns, probabilistic/deterministic flag,
+// and functional dependencies.
+#ifndef DISSODB_STORAGE_SCHEMA_H_
+#define DISSODB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/storage/fd.h"
+
+namespace dissodb {
+
+/// \brief Schema of one relation.
+///
+/// `deterministic == true` means every tuple has probability exactly 1; the
+/// paper writes such relations with a d-exponent (e.g. T^d) and the plan
+/// enumeration exploits them (Section 3.3.1).
+struct RelationSchema {
+  std::string name;
+  std::vector<std::string> column_names;
+  std::vector<ValueType> column_types;
+  bool deterministic = false;
+  std::vector<FunctionalDependency> fds;
+
+  int arity() const { return static_cast<int>(column_types.size()); }
+
+  /// Convenience factory: all-INT64 relation named `name` with columns
+  /// c0..c{arity-1}.
+  static RelationSchema AllInt64(const std::string& name, int arity,
+                                 bool deterministic = false);
+
+  std::string ToString() const;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_SCHEMA_H_

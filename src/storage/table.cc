@@ -1,0 +1,86 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+#include "src/common/string_util.h"
+
+namespace dissodb {
+
+void Table::AddRow(std::span<const Value> row, double p) {
+  assert(static_cast<int>(row.size()) == arity());
+  if (arity() == 0) {
+    ++zero_arity_rows_;
+  } else {
+    values_.insert(values_.end(), row.begin(), row.end());
+  }
+  probs_.push_back(schema_.deterministic ? 1.0 : p);
+}
+
+Table Table::Filter(
+    const std::function<bool(std::span<const Value>)>& pred) const {
+  Table out(schema_);
+  for (size_t r = 0; r < NumRows(); ++r) {
+    if (pred(Row(r))) out.AddRow(Row(r), Prob(r));
+  }
+  return out;
+}
+
+void Table::ScaleProbabilities(double f) {
+  if (schema_.deterministic) return;
+  for (auto& p : probs_) p = std::clamp(p * f, 0.0, 1.0);
+}
+
+bool Table::SatisfiesFD(const FunctionalDependency& fd) const {
+  // Map lhs-key -> first row index; conflict on any rhs value violates.
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (size_t r = 0; r < NumRows(); ++r) {
+    size_t h = 0x9e3779b9;
+    for (int c : fd.lhs) HashCombine(&h, At(r, c).Hash());
+    auto& rows = buckets[h];
+    for (size_t other : rows) {
+      bool same_lhs = true;
+      for (int c : fd.lhs) {
+        if (At(r, c) != At(other, c)) {
+          same_lhs = false;
+          break;
+        }
+      }
+      if (!same_lhs) continue;
+      for (int c : fd.rhs) {
+        if (At(r, c) != At(other, c)) return false;
+      }
+    }
+    rows.push_back(r);
+  }
+  return true;
+}
+
+Status Table::ValidateFDs() const {
+  for (const auto& fd : schema_.fds) {
+    if (!SatisfiesFD(fd)) {
+      return Status::InvalidArgument("relation " + schema_.name +
+                                     " violates FD " + fd.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + " [" + std::to_string(NumRows()) +
+                    " rows]\n";
+  for (size_t r = 0; r < NumRows() && r < max_rows; ++r) {
+    out += "  (";
+    for (int c = 0; c < arity(); ++c) {
+      if (c > 0) out += ", ";
+      out += At(r, c).ToString();
+    }
+    out += StrFormat(") p=%.4f\n", Prob(r));
+  }
+  if (NumRows() > max_rows) out += "  ...\n";
+  return out;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,73 @@
+// Row-oriented in-memory table with per-tuple probabilities.
+#ifndef DISSODB_STORAGE_TABLE_H_
+#define DISSODB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/storage/schema.h"
+
+namespace dissodb {
+
+/// \brief A tuple-independent probabilistic relation.
+///
+/// Rows are stored flattened (`arity` Values per row) next to a parallel
+/// probability array. Deterministic relations keep probabilities pinned at 1.
+class Table {
+ public:
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  RelationSchema* mutable_schema() { return &schema_; }
+
+  int arity() const { return schema_.arity(); }
+  size_t NumRows() const {
+    return arity() == 0 ? zero_arity_rows_ : values_.size() / arity();
+  }
+
+  /// Appends a row; `row.size()` must equal arity. Deterministic relations
+  /// force p = 1.
+  void AddRow(std::span<const Value> row, double p = 1.0);
+  void AddRow(std::initializer_list<Value> row, double p = 1.0) {
+    AddRow(std::span<const Value>(row.begin(), row.size()), p);
+  }
+
+  Value At(size_t row, int col) const { return values_[row * arity() + col]; }
+  std::span<const Value> Row(size_t row) const {
+    return {values_.data() + row * arity(), static_cast<size_t>(arity())};
+  }
+  double Prob(size_t row) const { return probs_[row]; }
+  void SetProb(size_t row, double p) {
+    probs_[row] = schema_.deterministic ? 1.0 : p;
+  }
+
+  /// Returns a table with the same schema containing rows where `pred` holds.
+  Table Filter(const std::function<bool(std::span<const Value>)>& pred) const;
+
+  /// Multiplies every probability by `f` (clamped to [0,1]); used by the
+  /// Proposition 21 / Figure 5n–5p scaling experiments. No-op on
+  /// deterministic relations.
+  void ScaleProbabilities(double f);
+
+  /// Checks whether the data satisfies a declared FD.
+  bool SatisfiesFD(const FunctionalDependency& fd) const;
+
+  /// Verifies all schema-declared FDs hold on the data.
+  Status ValidateFDs() const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Value> values_;  // flattened, arity() per row
+  std::vector<double> probs_;
+  size_t zero_arity_rows_ = 0;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_TABLE_H_

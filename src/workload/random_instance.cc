@@ -1,0 +1,77 @@
+#include "src/workload/random_instance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+
+namespace dissodb {
+
+ConjunctiveQuery RandomQuery(Rng* rng, const RandomQuerySpec& spec) {
+  ConjunctiveQuery q;
+  q.SetName("rq");
+  const int num_atoms = static_cast<int>(
+      rng->NextInt(spec.min_atoms, spec.max_atoms));
+  const int num_vars =
+      static_cast<int>(rng->NextInt(1, std::max(1, spec.max_vars)));
+  std::vector<VarId> vars;
+  for (int v = 0; v < num_vars; ++v) {
+    vars.push_back(q.AddVar("v" + std::to_string(v)));
+  }
+  for (int i = 0; i < num_atoms; ++i) {
+    Atom a;
+    a.relation = "Rel" + std::to_string(i);
+    const int arity = static_cast<int>(rng->NextInt(1, spec.max_arity));
+    bool has_var = false;
+    for (int p = 0; p < arity; ++p) {
+      const bool last = p == arity - 1;
+      if (!(last && !has_var) && rng->NextDouble() < spec.constant_prob) {
+        a.terms.push_back(Term::Const(Value::Int64(rng->NextInt(1, 3))));
+      } else {
+        a.terms.push_back(
+            Term::Var(vars[rng->NextBounded(vars.size())]));
+        has_var = true;
+      }
+    }
+    Status st = q.AddAtom(std::move(a));
+    (void)st;
+  }
+  // Head variables: random subset of variables that occur in the body.
+  VarMask body = q.AllVarsMask();
+  for (VarId v : MaskToVars(body)) {
+    if (rng->NextDouble() < spec.head_var_prob) {
+      Status st = q.AddHeadVar(v);
+      (void)st;
+    }
+  }
+  return q;
+}
+
+Database RandomDatabaseFor(const ConjunctiveQuery& q, Rng* rng,
+                           const RandomInstanceSpec& spec) {
+  Database db;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    const Atom& a = q.atom(i);
+    RelationSchema s = RelationSchema::AllInt64(a.relation, a.arity());
+    s.deterministic = rng->NextDouble() < spec.deterministic_prob;
+    Table t(s);
+    const size_t rows = 1 + rng->NextBounded(spec.max_rows);
+    std::vector<Value> row(a.arity());
+    // Probabilistic databases are SETS of tuples: skip duplicate rows.
+    std::unordered_set<size_t> seen;
+    for (size_t r = 0; r < rows; ++r) {
+      for (int c = 0; c < a.arity(); ++c) {
+        row[c] = Value::Int64(rng->NextInt(1, spec.domain));
+      }
+      size_t h = 0x1234;
+      for (const Value& v : row) HashCombine(&h, v.Hash());
+      if (!seen.insert(h).second) continue;
+      t.AddRow(row, rng->NextDouble() * spec.pi_max);
+    }
+    auto res = db.AddTable(std::move(t));
+    (void)res;
+  }
+  return db;
+}
+
+}  // namespace dissodb

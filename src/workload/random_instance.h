@@ -1,0 +1,43 @@
+// Random query / random instance generators for property-based testing.
+//
+// These drive the project's strongest correctness checks: on random small
+// instances, every plan score must upper-bound the exact probability
+// (Corollary 19), the propagation score must equal the brute-force minimum
+// over all safe dissociations (Definition 14), and all optimization
+// combinations must agree.
+#ifndef DISSODB_WORKLOAD_RANDOM_INSTANCE_H_
+#define DISSODB_WORKLOAD_RANDOM_INSTANCE_H_
+
+#include "src/common/rng.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+struct RandomQuerySpec {
+  int min_atoms = 1;
+  int max_atoms = 4;
+  int max_vars = 5;
+  int max_arity = 3;
+  double head_var_prob = 0.2;   ///< chance a variable becomes a head var
+  double constant_prob = 0.05;  ///< chance an atom position is a constant
+};
+
+/// Draws a random self-join-free CQ with relations Rel0..Rel{m-1}.
+/// Every atom has at least one variable position.
+ConjunctiveQuery RandomQuery(Rng* rng, const RandomQuerySpec& spec = {});
+
+struct RandomInstanceSpec {
+  size_t max_rows = 4;          ///< tuples per relation: 1..max_rows
+  int64_t domain = 3;           ///< values ~ U[1, domain]
+  double pi_max = 0.9;
+  double deterministic_prob = 0.0;  ///< chance a relation is deterministic
+};
+
+/// Builds a database whose catalog matches the query's atoms.
+Database RandomDatabaseFor(const ConjunctiveQuery& q, Rng* rng,
+                           const RandomInstanceSpec& spec = {});
+
+}  // namespace dissodb
+
+#endif  // DISSODB_WORKLOAD_RANDOM_INSTANCE_H_

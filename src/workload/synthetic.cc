@@ -1,0 +1,156 @@
+#include "src/workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace dissodb {
+
+int64_t TuneChainDomain(int k, size_t n, size_t target_answers) {
+  if (k < 2) return std::max<int64_t>(2, static_cast<int64_t>(n));
+  double nn = static_cast<double>(n);
+  double t = std::max<double>(1.0, static_cast<double>(target_answers));
+  double N = nn * std::pow(nn / t, 1.0 / (k - 1));
+  return std::max<int64_t>(2, static_cast<int64_t>(std::llround(N)));
+}
+
+Database MakeChainDatabase(const ChainSpec& spec) {
+  Database db;
+  Rng rng(spec.seed);
+  int64_t N = spec.domain > 0 ? spec.domain
+                              : TuneChainDomain(spec.k, spec.n,
+                                                spec.target_answers);
+  for (int i = 1; i <= spec.k; ++i) {
+    RelationSchema s = RelationSchema::AllInt64("R" + std::to_string(i), 2);
+    Table t(s);
+    // Set semantics: resample on (rare) duplicate rows, give up after a few
+    // attempts (only matters when n approaches N^2).
+    std::unordered_set<uint64_t> seen;
+    for (size_t r = 0; r < spec.n; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        int64_t a = rng.NextInt(1, N), b = rng.NextInt(1, N);
+        uint64_t key = static_cast<uint64_t>(a) * 0x1000003ULL +
+                       static_cast<uint64_t>(b);
+        if (!seen.insert(key).second) continue;
+        t.AddRow({Value::Int64(a), Value::Int64(b)},
+                 rng.NextDouble() * spec.pi_max);
+        break;
+      }
+    }
+    auto res = db.AddTable(std::move(t));
+    (void)res;
+  }
+  return db;
+}
+
+ConjunctiveQuery MakeChainQuery(int k) {
+  ConjunctiveQuery q;
+  q.SetName("chain" + std::to_string(k));
+  std::vector<VarId> x;
+  for (int i = 0; i <= k; ++i) x.push_back(q.AddVar("x" + std::to_string(i)));
+  Status st = q.AddHeadVar(x[0]);
+  st = q.AddHeadVar(x[k]);
+  for (int i = 1; i <= k; ++i) {
+    Atom a;
+    a.relation = "R" + std::to_string(i);
+    a.terms = {Term::Var(x[i - 1]), Term::Var(x[i])};
+    st = q.AddAtom(std::move(a));
+  }
+  (void)st;
+  return q;
+}
+
+int64_t TuneStarDomain(int k, size_t n, size_t target_matches) {
+  double nn = static_cast<double>(n);
+  double t = std::max<double>(1.0, static_cast<double>(target_matches));
+  double N = nn * std::pow(nn / t, 1.0 / std::max(k, 1));
+  return std::max<int64_t>(2, static_cast<int64_t>(std::llround(N)));
+}
+
+Database MakeStarDatabase(const StarSpec& spec) {
+  Database db;
+  Rng rng(spec.seed);
+  int64_t N = spec.domain > 0
+                  ? spec.domain
+                  : TuneStarDomain(spec.k, spec.n, spec.target_matches);
+  for (int i = 1; i <= spec.k; ++i) {
+    RelationSchema s = RelationSchema::AllInt64("R" + std::to_string(i), 1);
+    Table t(s);
+    std::unordered_set<int64_t> seen;
+    for (size_t r = 0; r < spec.n; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        int64_t v = rng.NextInt(1, N);
+        if (!seen.insert(v).second) continue;
+        t.AddRow({Value::Int64(v)}, rng.NextDouble() * spec.pi_max);
+        break;
+      }
+    }
+    auto res = db.AddTable(std::move(t));
+    (void)res;
+  }
+  {
+    RelationSchema s = RelationSchema::AllInt64("R0", spec.k);
+    Table t(s);
+    std::vector<Value> row(spec.k);
+    std::unordered_set<size_t> seen;
+    for (size_t r = 0; r < spec.n; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        size_t h = 0xabc;
+        for (int c = 0; c < spec.k; ++c) {
+          row[c] = Value::Int64(rng.NextInt(1, N));
+          HashCombine(&h, row[c].Hash());
+        }
+        if (!seen.insert(h).second) continue;
+        t.AddRow(row, rng.NextDouble() * spec.pi_max);
+        break;
+      }
+    }
+    auto res = db.AddTable(std::move(t));
+    (void)res;
+  }
+  return db;
+}
+
+ConjunctiveQuery MakeStarQuery(int k) {
+  ConjunctiveQuery q;
+  q.SetName("star" + std::to_string(k));
+  std::vector<VarId> x;
+  for (int i = 1; i <= k; ++i) x.push_back(q.AddVar("x" + std::to_string(i)));
+  Status st;
+  for (int i = 1; i <= k; ++i) {
+    Atom a;
+    a.relation = "R" + std::to_string(i);
+    a.terms = {Term::Var(x[i - 1])};
+    st = q.AddAtom(std::move(a));
+  }
+  Atom hub;
+  hub.relation = "R0";
+  for (int i = 0; i < k; ++i) hub.terms.push_back(Term::Var(x[i]));
+  st = q.AddAtom(std::move(hub));
+  (void)st;
+  return q;
+}
+
+void AssignUniformProbabilities(Database* db, double pi_max, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < db->NumTables(); ++i) {
+    Table* t = db->mutable_table(i);
+    if (t->schema().deterministic) continue;
+    for (size_t r = 0; r < t->NumRows(); ++r) {
+      t->SetProb(r, rng.NextDouble() * pi_max);
+    }
+  }
+}
+
+void AssignConstantProbabilities(Database* db, double pi) {
+  for (int i = 0; i < db->NumTables(); ++i) {
+    Table* t = db->mutable_table(i);
+    if (t->schema().deterministic) continue;
+    for (size_t r = 0; r < t->NumRows(); ++r) t->SetProb(r, pi);
+  }
+}
+
+}  // namespace dissodb

@@ -1,0 +1,66 @@
+// Synthetic k-chain and k-star workloads (Setup 2 of Section 5), plus
+// probability-assignment helpers shared by all experiments.
+#ifndef DISSODB_WORKLOAD_SYNTHETIC_H_
+#define DISSODB_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+// ---------------------------------------------------------------------------
+// k-chain:  q(x0,xk) :- R1(x0,x1), R2(x1,x2), ..., Rk(x_{k-1},xk)
+// ---------------------------------------------------------------------------
+
+struct ChainSpec {
+  int k = 4;            ///< number of relations
+  size_t n = 1000;      ///< tuples per relation
+  int64_t domain = 0;   ///< 0 = auto-tune for ~`target_answers`
+  size_t target_answers = 30;
+  uint64_t seed = 1;
+  double pi_max = 0.5;  ///< probabilities ~ U[0, pi_max]
+};
+
+/// Domain size N with expected #satisfying assignments ~= target
+/// (n * (n/N)^(k-1) = target  =>  N = n * (n/target)^(1/(k-1))).
+int64_t TuneChainDomain(int k, size_t n, size_t target_answers);
+
+Database MakeChainDatabase(const ChainSpec& spec);
+ConjunctiveQuery MakeChainQuery(int k);
+
+// ---------------------------------------------------------------------------
+// k-star:  q() :- R1(x1), ..., Rk(xk), R0(x1,...,xk)
+// ---------------------------------------------------------------------------
+
+struct StarSpec {
+  int k = 2;            ///< number of unary "petal" relations
+  size_t n = 1000;      ///< tuples per relation (including R0)
+  int64_t domain = 0;   ///< 0 = auto-tune
+  size_t target_matches = 30;
+  uint64_t seed = 2;
+  double pi_max = 0.5;
+};
+
+/// Domain size with expected #satisfying assignments ~= target
+/// (n * (n/N)^k = target).
+int64_t TuneStarDomain(int k, size_t n, size_t target_matches);
+
+Database MakeStarDatabase(const StarSpec& spec);
+ConjunctiveQuery MakeStarQuery(int k);
+
+// ---------------------------------------------------------------------------
+// Probability assignment
+// ---------------------------------------------------------------------------
+
+/// Assigns each probabilistic tuple a fresh U[0, pi_max] probability.
+void AssignUniformProbabilities(Database* db, double pi_max, uint64_t seed);
+
+/// Sets every probabilistic tuple's probability to `pi`.
+void AssignConstantProbabilities(Database* db, double pi);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_WORKLOAD_SYNTHETIC_H_

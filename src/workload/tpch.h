@@ -1,0 +1,61 @@
+// TPC-H-style probabilistic workload (Setup 1 of Section 5).
+//
+// Substitutes for DBGEN: same cardinality ratios (Supplier : Partsupp : Part
+// = 10k : 800k : 200k at scale 1), TPC-H color vocabulary for p_name (so the
+// paper's LIKE patterns '%red%green%', '%red%', '%' select comparable
+// fractions), 25 nations, 4 suppliers per part via the TPC-H assignment
+// formula, and a uniform-random probability column.
+#ifndef DISSODB_WORKLOAD_TPCH_H_
+#define DISSODB_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+struct TpchOptions {
+  double scale = 0.1;     ///< 1.0 = the paper's 1GB-equivalent cardinalities
+  uint64_t seed = 42;     ///< probability & nation assignment seed
+  double pi_max = 0.5;    ///< tuple probabilities ~ U[0, pi_max]
+};
+
+/// Builds Supplier(suppkey, nationkey), Partsupp(suppkey, partkey),
+/// Part(partkey, name) with probabilities.
+Database MakeTpchDatabase(const TpchOptions& opts = {});
+
+/// The paper's query:
+///   Q(a) :- Supplier(s,a), Partsupp(s,u), Part(u,m)
+/// (select distinct s_nationkey ... where s_suppkey <= $1 and p_name like $2
+/// — the selections are applied via MakeTpchSelections). Atom order:
+/// 0 = Supplier, 1 = Partsupp, 2 = Part.
+ConjunctiveQuery TpchQuery();
+
+/// Owns the filtered tables for parameters $1 (suppkey bound) and $2
+/// (name LIKE pattern) and exposes them as atom overrides.
+struct TpchSelections {
+  Table supplier;
+  Table part;
+  std::unordered_map<int, const Table*> overrides;
+
+  TpchSelections(Table s, Table p) : supplier(std::move(s)), part(std::move(p)) {
+    overrides[0] = &supplier;
+    overrides[2] = &part;
+  }
+  TpchSelections(const TpchSelections&) = delete;
+  TpchSelections& operator=(const TpchSelections&) = delete;
+};
+
+/// Applies s_suppkey <= dollar1 and p_name LIKE dollar2.
+Result<std::unique_ptr<TpchSelections>> MakeTpchSelections(
+    const Database& db, int64_t dollar1, const std::string& dollar2);
+
+/// The 92 TPC-H color words (exposed for tests).
+const std::vector<std::string>& TpchColorWords();
+
+}  // namespace dissodb
+
+#endif  // DISSODB_WORKLOAD_TPCH_H_

@@ -1,0 +1,204 @@
+// Unit tests for src/common: Status/Result, Value, Rng, string utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+#include "src/common/value.h"
+
+namespace dissodb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<Status::Code> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::Unimplemented("").code(),   Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  Value v = Value::Int64(-7);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringCodeRoundTrip) {
+  Value v = Value::StringCode(12);
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsStringCode(), 12);
+}
+
+TEST(ValueTest, EqualityRequiresSameType) {
+  EXPECT_NE(Value::Int64(1), Value::StringCode(1));
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_NE(Value::Int64(5), Value::Int64(6));
+}
+
+TEST(ValueTest, OrderingIsTotalWithinType) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::Double(1.0), Value::Double(1.5));
+  EXPECT_LT(Value::StringCode(0), Value::StringCode(1));
+}
+
+TEST(ValueTest, HashDiffersAcrossTypes) {
+  EXPECT_NE(Value::Int64(3).Hash(), Value::StringCode(3).Hash());
+}
+
+TEST(ValueTest, HashSpreadsSmallIntegers) {
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(Value::Int64(i).Hash());
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng r(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(LikeMatchTest, ExactMatchWithoutWildcards) {
+  EXPECT_TRUE(LikeMatch("red", "red"));
+  EXPECT_FALSE(LikeMatch("red", "blue"));
+  EXPECT_FALSE(LikeMatch("redd", "red"));
+}
+
+TEST(LikeMatchTest, PercentMatchesAnySequence) {
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("dark red metallic", "%red%"));
+  EXPECT_FALSE(LikeMatch("dark blue", "%red%"));
+}
+
+TEST(LikeMatchTest, OrderedPatterns) {
+  // The paper's '%red%green%' pattern requires red before green.
+  EXPECT_TRUE(LikeMatch("pale red forest green", "%red%green%"));
+  EXPECT_FALSE(LikeMatch("green then red", "%red%green%"));
+}
+
+TEST(LikeMatchTest, UnderscoreMatchesExactlyOneChar) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("ct", "c_t"));
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+}
+
+TEST(LikeMatchTest, BacktrackingAcrossRepeats) {
+  EXPECT_TRUE(LikeMatch("abcabcabd", "%abd"));
+  EXPECT_TRUE(LikeMatch("aaab", "%a_b"));
+  EXPECT_FALSE(LikeMatch("aaac", "%a_b"));
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,143 @@
+// The Figure 2 table: numbers of minimal plans, total plans and
+// dissociations for k-star and k-chain queries, matching the OEIS rows the
+// paper cites (k! and A000670 for stars; A000108 Catalan and A001003
+// super-Catalan for chains; 2^K for the lattice sizes).
+#include <gtest/gtest.h>
+
+#include "src/dissociation/counting.h"
+#include "src/workload/synthetic.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::Q;
+
+TEST(CountingTest, StarMinimalPlansAreFactorials) {
+  const uint64_t expected[] = {1, 2, 6, 24, 120, 720};  // k = 1..6
+  for (int k = 1; k <= 6; ++k) {
+    auto c = CountMinimalPlans(MakeStarQuery(k));
+    ASSERT_TRUE(c.ok()) << k;
+    EXPECT_EQ(*c, expected[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(CountingTest, StarTotalPlansAreFubiniNumbers) {
+  // A000670: 1, 3, 13, 75, 541, 4683, 47293.
+  const uint64_t expected[] = {1, 3, 13, 75, 541, 4683, 47293};
+  for (int k = 1; k <= 7; ++k) {
+    auto c = CountTotalPlans(MakeStarQuery(k));
+    ASSERT_TRUE(c.ok()) << k;
+    EXPECT_EQ(*c, expected[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(CountingTest, StarDissociationExponent) {
+  // #Delta = 2^(k(k-1)): exponents 0, 2, 6, 12, 20, 30, 42.
+  for (int k = 1; k <= 7; ++k) {
+    EXPECT_EQ(DissociationExponent(MakeStarQuery(k)), k * (k - 1)) << k;
+  }
+  auto c = CountAllDissociations(MakeStarQuery(4));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 4096u);
+}
+
+TEST(CountingTest, ChainMinimalPlansAreCatalanNumbers) {
+  // A000108 shifted: k=2 -> 1, 3 -> 2, 4 -> 5, 5 -> 14, 6 -> 42, 7 -> 132,
+  // 8 -> 429 (the paper's "429 minimal plans for the 8-chain").
+  const uint64_t expected[] = {1, 2, 5, 14, 42, 132, 429};
+  for (int k = 2; k <= 8; ++k) {
+    auto c = CountMinimalPlans(MakeChainQuery(k));
+    ASSERT_TRUE(c.ok()) << k;
+    EXPECT_EQ(*c, expected[k - 2]) << "k=" << k;
+  }
+}
+
+TEST(CountingTest, ChainTotalPlansAreSuperCatalanNumbers) {
+  // A001003: k=2 -> 1, 3 -> 3, 4 -> 11, 5 -> 45, 6 -> 197, 7 -> 903,
+  // 8 -> 4279 (the paper's "4279 safe dissociations for the 8-chain").
+  const uint64_t expected[] = {1, 3, 11, 45, 197, 903, 4279};
+  for (int k = 2; k <= 8; ++k) {
+    auto c = CountTotalPlans(MakeChainQuery(k));
+    ASSERT_TRUE(c.ok()) << k;
+    EXPECT_EQ(*c, expected[k - 2]) << "k=" << k;
+  }
+}
+
+TEST(CountingTest, ChainDissociationExponent) {
+  // #Delta = 2^((k-1)(k-2)): 1, 4, 64, 4096 for k = 2..5.
+  for (int k = 2; k <= 8; ++k) {
+    EXPECT_EQ(DissociationExponent(MakeChainQuery(k)), (k - 1) * (k - 2)) << k;
+  }
+  auto c = CountAllDissociations(MakeChainQuery(5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 4096u);
+}
+
+TEST(CountingTest, DissociationOverflowGuard) {
+  auto q = MakeStarQuery(9);  // 2^72 dissociations
+  auto c = CountAllDissociations(q);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(CountingTest, SafeQueryHasOnePlanOfEachKind) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  auto mp = CountMinimalPlans(q);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(*mp, 1u);
+}
+
+TEST(CountingTest, TpchStyleQueryHasTwoMinimalPlans) {
+  // The Section 5 TPC-H query shape has exactly two minimal plans.
+  auto q = Q("q(a) :- S(s,a), PS(s,u), P(u,m)");
+  auto mp = CountMinimalPlans(q);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(*mp, 2u);
+}
+
+TEST(CountingTest, DisconnectedQueryMultipliesCounts) {
+  // Two independent unsafe RST chains: minimal plans multiply (2 * 2).
+  auto q = Q("q() :- R(x), S(x,y), T(y), A(u), B(u,v), C(v)");
+  auto mp = CountMinimalPlans(q);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(*mp, 4u);
+}
+
+TEST(CountingTest, Example17Counts) {
+  auto q = Q("q() :- R(x), S(x), T(x,y), U(y)");
+  auto mp = CountMinimalPlans(q);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(*mp, 2u);
+  // Figure 1 counts 5 plans = 5 safe dissociations; two of them (plans 5
+  // and 6) join components merged by the dissociation, so the component-
+  // only plan space of Figure 2's closed forms sees just 3.
+  auto sd = CountSafeDissociations(q);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(*sd, 5u);
+  auto tp = CountTotalPlans(q);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(*tp, 3u);
+  EXPECT_EQ(DissociationExponent(q), 3);
+}
+
+TEST(CountingTest, SafeDissociationsCanExceedFigure2PlanCounts) {
+  // Reproduction finding (see EXPERIMENTS.md): for k >= 4 chains there are
+  // hierarchical dissociations differing only in projection placement over
+  // one join shape; Figure 2's A001003 row excludes them.
+  auto q4 = MakeChainQuery(4);
+  auto sd = CountSafeDissociations(q4);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(*sd, 17u);  // vs Figure 2's 11
+  auto s3 = CountSafeDissociations(MakeStarQuery(3));
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, 19u);  // vs Figure 2's 13
+  // For 3-atom chains/2-star the two counts agree.
+  EXPECT_EQ(*CountSafeDissociations(MakeChainQuery(3)),
+            *CountTotalPlans(MakeChainQuery(3)));
+  EXPECT_EQ(*CountSafeDissociations(MakeStarQuery(2)),
+            *CountTotalPlans(MakeStarQuery(2)));
+}
+
+}  // namespace
+}  // namespace dissodb

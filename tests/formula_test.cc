@@ -1,0 +1,100 @@
+// Unit tests for DNF formulas and the brute-force reference probability.
+#include <gtest/gtest.h>
+
+#include "src/lineage/formula.h"
+
+namespace dissodb {
+namespace {
+
+TEST(DnfTest, EvaluateBasics) {
+  Dnf f;
+  f.probs = {0.5, 0.5, 0.5};
+  f.terms = {{0, 1}, {2}};
+  EXPECT_TRUE(f.Evaluate({true, true, false}));
+  EXPECT_TRUE(f.Evaluate({false, false, true}));
+  EXPECT_FALSE(f.Evaluate({true, false, false}));
+}
+
+TEST(DnfTest, EmptyFormulaIsFalse) {
+  Dnf f;
+  EXPECT_FALSE(f.Evaluate({}));
+  auto p = BruteForceProbability(f);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+}
+
+TEST(DnfTest, EmptyTermIsTrue) {
+  Dnf f;
+  f.probs = {0.5};
+  f.terms = {{}};
+  EXPECT_TRUE(f.Evaluate({false}));
+  auto p = BruteForceProbability(f);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+}
+
+TEST(DnfTest, NormalizeDeduplicates) {
+  Dnf f;
+  f.probs = {0.5, 0.5};
+  f.terms = {{1, 0}, {0, 1}, {0, 0, 1}};
+  f.Normalize();
+  EXPECT_EQ(f.terms.size(), 1u);
+  EXPECT_EQ(f.terms[0], (std::vector<int>{0, 1}));
+}
+
+TEST(DnfTest, ToStringReadable) {
+  Dnf f;
+  f.probs = {0.5, 0.5};
+  f.terms = {{0, 1}, {1}};
+  EXPECT_EQ(f.ToString(), "x0.x1 v x1");
+}
+
+TEST(BruteForceTest, Example7XYvXZ) {
+  // F = XY v XZ: P = pq + pr - pqr (Example 7 with p=q=r values).
+  Dnf f;
+  f.probs = {0.5, 0.4, 0.3};  // X, Y, Z
+  f.terms = {{0, 1}, {0, 2}};
+  auto prob = BruteForceProbability(f);
+  ASSERT_TRUE(prob.ok());
+  double p = 0.5, q = 0.4, r = 0.3;
+  EXPECT_NEAR(*prob, p * q + p * r - p * q * r, 1e-12);
+}
+
+TEST(BruteForceTest, Example9Dissociation) {
+  // F' = X'Y v X''Z: P = 1 - (1-pq)(1-pr) = pq + pr - p^2 qr, an upper
+  // bound on Example 7's F (Theorem 8).
+  Dnf f;
+  f.probs = {0.5, 0.4, 0.5, 0.3};  // X', Y, X'', Z
+  f.terms = {{0, 1}, {2, 3}};
+  auto prob = BruteForceProbability(f);
+  ASSERT_TRUE(prob.ok());
+  double p = 0.5, q = 0.4, r = 0.3;
+  EXPECT_NEAR(*prob, p * q + p * r - p * p * q * r, 1e-12);
+  EXPECT_GE(*prob, p * q + p * r - p * q * r);
+}
+
+TEST(BruteForceTest, NonExampleDissociationCanViolateBounds) {
+  // Example 9's caveat: F' = X'X'' dissociates F = X but P(F') = p^2 < p.
+  // (Two dissociations of one variable in the same prime implicant.)
+  Dnf f;
+  f.probs = {0.5};
+  f.terms = {{0}};
+  Dnf fp;
+  fp.probs = {0.5, 0.5};
+  fp.terms = {{0, 1}};
+  auto p = BruteForceProbability(f);
+  auto pp = BruteForceProbability(fp);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(pp.ok());
+  EXPECT_LT(*pp, *p);
+}
+
+TEST(BruteForceTest, TooManyVariablesRejected) {
+  Dnf f;
+  f.probs.assign(26, 0.5);
+  f.terms = {{0}};
+  EXPECT_FALSE(BruteForceProbability(f).ok());
+}
+
+}  // namespace
+}  // namespace dissodb

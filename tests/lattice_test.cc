@@ -1,0 +1,178 @@
+// Tests for the dissociation lattice and its correspondence with plans:
+// Theorem 18 (safe dissociations <-> plans, bijectively) and Theorem 20
+// (minimal safe dissociations <-> Algorithm 1 output).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/dissociation/counting.h"
+#include "src/dissociation/lattice.h"
+#include "src/dissociation/minimal_plans.h"
+#include "src/workload/random_instance.h"
+#include "src/workload/synthetic.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::Q;
+using testing_util::Vars;
+
+std::string DeltaKey(const ConjunctiveQuery& q, const Dissociation& d) {
+  std::string key;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    key += std::to_string(d.extra[i]) + "|";
+  }
+  return key;
+}
+
+TEST(LatticeTest, AllDissociationsCountIsTwoToTheK) {
+  auto q = Q("q() :- R(x), S(x), T(x,y), U(y)");
+  // Example 17: 2^3 = 8 dissociations.
+  EXPECT_EQ(DissociationExponent(q), 3);
+  auto all = EnumerateAllDissociations(q);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 8u);
+}
+
+TEST(LatticeTest, Example17SafeAndMinimalCounts) {
+  // Example 17: among 8 dissociations, 5 are safe, 2 minimal.
+  auto q = Q("q() :- R(x), S(x), T(x,y), U(y)");
+  auto safe = EnumerateSafeDissociations(q);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_EQ(safe->size(), 5u);
+  auto minimal = EnumerateMinimalSafeDissociations(q);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_EQ(minimal->size(), 2u);
+  // The two minimal ones are Delta3 = (0,0,0,{x}) and Delta4 = ({y},{y},0,0).
+  std::set<std::string> keys;
+  for (const auto& d : *minimal) keys.insert(DeltaKey(q, d));
+  Dissociation d3 = Dissociation::Empty(q);
+  d3.extra[3] = Vars(q, {"x"});
+  Dissociation d4 = Dissociation::Empty(q);
+  d4.extra[0] = Vars(q, {"y"});
+  d4.extra[1] = Vars(q, {"y"});
+  EXPECT_TRUE(keys.count(DeltaKey(q, d3)));
+  EXPECT_TRUE(keys.count(DeltaKey(q, d4)));
+}
+
+TEST(LatticeTest, Example17HasFivePlans) {
+  // Figure 1b: exactly 5 query plans.
+  auto q = Q("q() :- R(x), S(x), T(x,y), U(y)");
+  auto plans = EnumerateAllPlans(q);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 5u);
+}
+
+TEST(LatticeTest, PlansBijectWithSafeDissociations) {
+  for (const char* text :
+       {"q() :- R(x), S(x), T(x,y), U(y)", "q() :- R(x), S(x,y), T(y)",
+        "q(z) :- R(z,x), S(x,y), T(y)", "q() :- R(x), S(y)",
+        "q() :- R(x,y), S(y,z)"}) {
+    auto q = Q(text);
+    auto plans = EnumerateAllPlans(q);
+    auto safe = EnumerateSafeDissociations(q);
+    ASSERT_TRUE(plans.ok()) << text;
+    ASSERT_TRUE(safe.ok()) << text;
+    EXPECT_EQ(plans->size(), safe->size()) << text;
+    // The extracted dissociations of all plans are exactly the safe ones,
+    // with no duplicates (Theorem 18: the mappings are inverse bijections).
+    std::set<std::string> from_plans, safe_keys;
+    for (const auto& p : *plans) {
+      Dissociation d = ExtractDissociation(p, q);
+      EXPECT_TRUE(IsSafeDissociation(q, d)) << text;
+      from_plans.insert(DeltaKey(q, d));
+    }
+    for (const auto& d : *safe) safe_keys.insert(DeltaKey(q, d));
+    EXPECT_EQ(from_plans, safe_keys) << text;
+  }
+}
+
+TEST(LatticeTest, MinimalSafeDissociationsMatchAlgorithmOne) {
+  for (const char* text :
+       {"q() :- R(x), S(x), T(x,y), U(y)", "q() :- R(x), S(x,y), T(y)",
+        "q(z) :- R(z,x), S(x,y), K(x,y)", "q() :- R(x,y), S(y,z), T(z,u)",
+        "q() :- R(x), S(y)"}) {
+    auto q = Q(text);
+    auto minimal = EnumerateMinimalSafeDissociations(q);
+    auto plans = EnumerateMinimalPlans(q);
+    ASSERT_TRUE(minimal.ok()) << text;
+    ASSERT_TRUE(plans.ok()) << text;
+    EXPECT_EQ(minimal->size(), plans->size()) << text;
+    std::set<std::string> lattice_keys, algo_keys;
+    for (const auto& d : *minimal) lattice_keys.insert(DeltaKey(q, d));
+    for (const auto& p : *plans) {
+      algo_keys.insert(DeltaKey(q, ExtractDissociation(p, q)));
+    }
+    EXPECT_EQ(lattice_keys, algo_keys) << text;
+  }
+}
+
+TEST(LatticeTest, MinimalSafeDissociationsMatchAlgorithmOneRandom) {
+  Rng rng(20240610);
+  RandomQuerySpec spec;
+  spec.max_atoms = 4;
+  spec.max_vars = 4;
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ConjunctiveQuery q = RandomQuery(&rng, spec);
+    if (DissociationExponent(q) > 12) continue;
+    auto minimal = EnumerateMinimalSafeDissociations(q);
+    auto plans = EnumerateMinimalPlans(q);
+    ASSERT_TRUE(minimal.ok()) << q.ToString();
+    ASSERT_TRUE(plans.ok()) << q.ToString();
+    std::set<std::string> lattice_keys, algo_keys;
+    for (const auto& d : *minimal) lattice_keys.insert(DeltaKey(q, d));
+    for (const auto& p : *plans) {
+      algo_keys.insert(DeltaKey(q, ExtractDissociation(p, q)));
+    }
+    EXPECT_EQ(lattice_keys, algo_keys) << q.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(LatticeTest, PlanCountsMatchCountingModule) {
+  Rng rng(7777);
+  RandomQuerySpec spec;
+  spec.max_atoms = 4;
+  spec.max_vars = 4;
+  for (int trial = 0; trial < 100; ++trial) {
+    ConjunctiveQuery q = RandomQuery(&rng, spec);
+    if (DissociationExponent(q) > 12) continue;
+    auto plans = EnumerateAllPlans(q);
+    auto count = CountSafeDissociations(q);
+    ASSERT_TRUE(plans.ok());
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(plans->size(), *count) << q.ToString();
+    auto minimal = EnumerateMinimalPlans(q);
+    auto min_count = CountMinimalPlans(q);
+    ASSERT_TRUE(minimal.ok());
+    ASSERT_TRUE(min_count.ok());
+    EXPECT_EQ(minimal->size(), *min_count) << q.ToString();
+  }
+}
+
+TEST(LatticeTest, EnumerationOrderIsBottomUp) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  auto all = EnumerateAllDissociations(q);
+  ASSERT_TRUE(all.ok());
+  int prev = 0;
+  for (const auto& d : *all) {
+    int total = 0;
+    for (VarMask m : d.extra) total += MaskCount(m);
+    EXPECT_GE(total, prev);
+    prev = total;
+  }
+}
+
+TEST(LatticeTest, GuardOnHugeLattices) {
+  auto q = MakeChainQuery(9);  // (k-1)(k-2) = 56 slots
+  auto all = EnumerateAllDissociations(q);
+  EXPECT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), Status::Code::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,122 @@
+// Tests for the Monte Carlo estimators (naive MC(x) and Karp-Luby).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/infer/exact.h"
+#include "src/infer/mc.h"
+#include "src/lineage/formula.h"
+
+namespace dissodb {
+namespace {
+
+Dnf Example7() {
+  Dnf f;
+  f.probs = {0.5, 0.4, 0.3};
+  f.terms = {{0, 1}, {0, 2}};
+  return f;
+}
+
+TEST(NaiveMcTest, DeterministicForFixedSeed) {
+  Dnf f = Example7();
+  Rng a(42), b(42);
+  EXPECT_DOUBLE_EQ(NaiveDnfEstimate(f, 1000, &a), NaiveDnfEstimate(f, 1000, &b));
+}
+
+TEST(NaiveMcTest, ConvergesToExact) {
+  Dnf f = Example7();
+  auto exact = ExactDnfProbability(f);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(7);
+  double est = NaiveDnfEstimate(f, 200000, &rng);
+  // stderr ~ sqrt(p(1-p)/n) ~ 0.001; allow 5 sigma.
+  EXPECT_NEAR(est, *exact, 0.006);
+}
+
+TEST(NaiveMcTest, EmptyFormulaIsZero) {
+  Dnf f;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(NaiveDnfEstimate(f, 100, &rng), 0.0);
+}
+
+TEST(NaiveMcTest, CertainFormulaIsOne) {
+  Dnf f;
+  f.probs = {1.0};
+  f.terms = {{0}};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(NaiveDnfEstimate(f, 100, &rng), 1.0);
+}
+
+TEST(NaiveMcTest, VarianceShrinksWithSamples) {
+  Dnf f = Example7();
+  auto exact = ExactDnfProbability(f);
+  ASSERT_TRUE(exact.ok());
+  auto spread = [&](size_t samples, uint64_t seed0) {
+    double mn = 1.0, mx = 0.0;
+    for (uint64_t s = 0; s < 20; ++s) {
+      Rng rng(seed0 + s);
+      double est = NaiveDnfEstimate(f, samples, &rng);
+      mn = std::min(mn, est);
+      mx = std::max(mx, est);
+    }
+    return mx - mn;
+  };
+  EXPECT_GT(spread(50, 100), spread(50000, 200));
+}
+
+TEST(KarpLubyTest, ConvergesToExact) {
+  Dnf f = Example7();
+  auto exact = ExactDnfProbability(f);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(11);
+  double est = KarpLubyEstimate(f, 200000, &rng);
+  EXPECT_NEAR(est, *exact, 0.01);
+}
+
+TEST(KarpLubyTest, GoodOnTinyProbabilities) {
+  // P(F) ~ 1e-6: naive MC with 10k samples almost always returns 0;
+  // Karp-Luby keeps relative accuracy.
+  Dnf f;
+  f.probs = {1e-3, 1e-3, 1e-3, 1e-3};
+  f.terms = {{0, 1}, {2, 3}};
+  auto exact = ExactDnfProbability(f);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_LT(*exact, 1e-5);
+  Rng rng(3);
+  double kl = KarpLubyEstimate(f, 20000, &rng);
+  EXPECT_NEAR(kl / *exact, 1.0, 0.1);  // within 10% relative error
+}
+
+TEST(KarpLubyTest, SingleTermIsExactInExpectation) {
+  Dnf f;
+  f.probs = {0.3, 0.6};
+  f.terms = {{0, 1}};
+  Rng rng(5);
+  // With one term every sample counts: the estimator is exactly P(T1).
+  EXPECT_NEAR(KarpLubyEstimate(f, 10, &rng), 0.18, 1e-12);
+}
+
+TEST(KarpLubyTest, AgreesWithNaiveOnModerateFormulas) {
+  Rng gen(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    Dnf f;
+    const int n = 6;
+    for (int v = 0; v < n; ++v) f.probs.push_back(0.2 + 0.6 * gen.NextDouble());
+    for (int t = 0; t < 4; ++t) {
+      std::vector<int> term;
+      term.push_back(static_cast<int>(gen.NextBounded(n)));
+      term.push_back(static_cast<int>(gen.NextBounded(n)));
+      f.terms.push_back(term);
+    }
+    f.Normalize();
+    auto exact = ExactDnfProbability(f);
+    ASSERT_TRUE(exact.ok());
+    Rng r1(trial), r2(trial + 1000);
+    EXPECT_NEAR(KarpLubyEstimate(f, 60000, &r1), *exact, 0.02);
+    EXPECT_NEAR(NaiveDnfEstimate(f, 60000, &r2), *exact, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,136 @@
+// Tests for AP@k with analytic tie handling and MAP aggregation.
+#include <gtest/gtest.h>
+
+#include "src/metrics/ap.h"
+
+namespace dissodb {
+namespace {
+
+TEST(TopKMembershipTest, NoTies) {
+  std::vector<double> scores = {0.9, 0.5, 0.7};
+  auto p = TopKMembershipProbability(scores, 2);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+}
+
+TEST(TopKMembershipTest, TieAtBoundary) {
+  // Scores: 0.9, then three tied at 0.5; k = 2 -> one slot among three.
+  std::vector<double> scores = {0.9, 0.5, 0.5, 0.5};
+  auto p = TopKMembershipProbability(scores, 2);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_NEAR(p[1], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(p[2], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(p[3], 1.0 / 3, 1e-12);
+}
+
+TEST(TopKMembershipTest, AllTied) {
+  std::vector<double> scores(10, 1.0);
+  auto p = TopKMembershipProbability(scores, 3);
+  for (double x : p) EXPECT_NEAR(x, 0.3, 1e-12);
+}
+
+TEST(TopKMembershipTest, KLargerThanN) {
+  std::vector<double> scores = {0.5, 0.4};
+  auto p = TopKMembershipProbability(scores, 10);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+}
+
+TEST(ApTest, PerfectRankingScoresOne) {
+  std::vector<double> gt = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0.5, 0.4};
+  EXPECT_NEAR(AveragePrecisionAtK(gt, gt), 1.0, 1e-12);
+}
+
+TEST(ApTest, MonotoneTransformationKeepsPerfectScore) {
+  std::vector<double> gt = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0.5, 0.4};
+  std::vector<double> sys;
+  for (double g : gt) sys.push_back(g * g);  // same order
+  EXPECT_NEAR(AveragePrecisionAtK(gt, sys), 1.0, 1e-12);
+}
+
+TEST(ApTest, RandomBaselineFor25AnswersIsPoint22) {
+  // The paper: "random average precision for 25 answers ... MAP@10 ~ 0.220".
+  EXPECT_NEAR(RandomBaselineAP(25), 0.22, 1e-12);
+  // All-tied system scores achieve exactly the baseline.
+  std::vector<double> gt, sys;
+  for (int i = 0; i < 25; ++i) {
+    gt.push_back(25 - i);
+    sys.push_back(1.0);
+  }
+  EXPECT_NEAR(AveragePrecisionAtK(gt, sys), 0.22, 1e-12);
+}
+
+TEST(ApTest, ReversedRankingIsBad) {
+  std::vector<double> gt, sys;
+  for (int i = 0; i < 25; ++i) {
+    gt.push_back(25 - i);
+    sys.push_back(i);  // exactly reversed
+  }
+  double ap = AveragePrecisionAtK(gt, sys);
+  EXPECT_LT(ap, 0.05);  // worse than random
+}
+
+TEST(ApTest, SwapOutsideTopTenIsFree) {
+  std::vector<double> gt, sys;
+  for (int i = 0; i < 25; ++i) {
+    gt.push_back(25 - i);
+    sys.push_back(25 - i);
+  }
+  std::swap(sys[15], sys[20]);
+  EXPECT_NEAR(AveragePrecisionAtK(gt, sys), 1.0, 1e-12);
+}
+
+TEST(ApTest, SwapAtTopCostsMore) {
+  std::vector<double> gt;
+  for (int i = 0; i < 25; ++i) gt.push_back(25 - i);
+  std::vector<double> swap_top = gt;
+  std::swap(swap_top[0], swap_top[9]);
+  std::vector<double> swap_lower = gt;
+  std::swap(swap_lower[8], swap_lower[9]);
+  double top = AveragePrecisionAtK(gt, swap_top);
+  double lower = AveragePrecisionAtK(gt, swap_lower);
+  EXPECT_LT(top, lower);
+  EXPECT_LT(lower, 1.0);
+}
+
+TEST(ApTest, GtTiesHandledInExpectation) {
+  // Two GT-tied answers: any system order of the pair is equally good.
+  std::vector<double> gt = {5, 4, 4, 3, 2, 1, 0.9, 0.8, 0.7, 0.6, 0.5};
+  std::vector<double> sys_a = {11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  std::vector<double> sys_b = sys_a;
+  std::swap(sys_b[1], sys_b[2]);
+  EXPECT_NEAR(AveragePrecisionAtK(gt, sys_a), AveragePrecisionAtK(gt, sys_b),
+              1e-12);
+}
+
+TEST(ApTest, EmptyAndMismatchedInputs) {
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({1.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(ApTest, FewerThanTenAnswers) {
+  std::vector<double> gt = {3, 2, 1};
+  // Perfect ranking of 3 answers: P@k = 1 for k <= 3, then 3/k beyond.
+  double expected = 0.0;
+  for (int k = 1; k <= 10; ++k) expected += std::min(3.0, double(k)) / k;
+  expected /= 10;
+  EXPECT_NEAR(AveragePrecisionAtK(gt, gt), expected, 1e-12);
+}
+
+TEST(MeanStdTest, MeanAndStdDev) {
+  MeanStd ms;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) ms.Add(x);
+  EXPECT_EQ(ms.count(), 8u);
+  EXPECT_NEAR(ms.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(ms.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(MeanStdTest, SingleValueHasZeroStd) {
+  MeanStd ms;
+  ms.Add(3.0);
+  EXPECT_DOUBLE_EQ(ms.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,209 @@
+// Tests for Algorithm 1 (EnumerateMinimalPlans) and its schema-knowledge
+// refinements (Sections 3.3.1-3.3.2, Theorems 20/24/27).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/dissociation/minimal_plans.h"
+#include "src/plan/plan_print.h"
+#include "src/workload/synthetic.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::Q;
+using testing_util::Vars;
+
+SchemaKnowledge WithDet(const ConjunctiveQuery& q, std::vector<bool> det) {
+  SchemaKnowledge sk = SchemaKnowledge::None(q);
+  sk.deterministic = std::move(det);
+  return sk;
+}
+
+TEST(MinimalPlansTest, SafeQueryReturnsItsUniqueSafePlan) {
+  // Conservativity: a safe query has exactly one minimal plan — the safe
+  // plan — so dissociation computes the exact probability.
+  for (const char* text :
+       {"q() :- R(x), S(x,y)", "q1(z) :- R(z,x), S(x,y), K(x,y)",
+        "q() :- R(x,y), S(y,z), T(y,z,u)", "q() :- R(x)",
+        "q(y) :- R(x), S(x,y), T(y)"}) {
+    auto q = Q(text);
+    ASSERT_TRUE(IsHierarchical(q)) << text;
+    auto plans = EnumerateMinimalPlans(q);
+    ASSERT_TRUE(plans.ok()) << text;
+    ASSERT_EQ(plans->size(), 1u) << text;
+    EXPECT_TRUE(IsSafePlan((*plans)[0], q.HeadMask())) << text;
+    EXPECT_TRUE(ExtractDissociation((*plans)[0], q).IsEmpty()) << text;
+  }
+}
+
+TEST(MinimalPlansTest, UnsafeQueryReturnsMultipleUnsafePlans) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  auto plans = EnumerateMinimalPlans(q);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 2u);
+  for (const auto& p : *plans) {
+    Dissociation d = ExtractDissociation(p, q);
+    EXPECT_FALSE(d.IsEmpty());
+    EXPECT_TRUE(IsSafeDissociation(q, d));
+  }
+}
+
+TEST(MinimalPlansTest, IntroQ2PlansMatchPaper) {
+  // q2(z) :- R(z,x), S(x,y), T(y): minimal dissociations are
+  // T' gains x (plan P'2) and R' gains y (plan P''2).
+  auto q = Q("q2(z) :- R(z,x), S(x,y), T(y)");
+  auto plans = EnumerateMinimalPlans(q);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 2u);
+  std::set<std::string> keys;
+  for (const auto& p : *plans) {
+    Dissociation d = ExtractDissociation(p, q);
+    keys.insert(d.ToString(q));
+  }
+  Dissociation t_gains_x = Dissociation::Empty(q);
+  t_gains_x.extra[2] = Vars(q, {"x"});
+  Dissociation r_gains_y = Dissociation::Empty(q);
+  r_gains_y.extra[0] = Vars(q, {"y"});
+  EXPECT_TRUE(keys.count(t_gains_x.ToString(q)));
+  EXPECT_TRUE(keys.count(r_gains_y.ToString(q)));
+}
+
+TEST(MinimalPlansTest, IsSafeQueryAgreesWithHierarchy) {
+  for (const char* text :
+       {"q() :- R(x), S(x,y)", "q() :- R(x), S(x,y), T(y)",
+        "q() :- R(x,y), S(y,z), T(y,z,u)", "q() :- R(x,y), S(y,z), T(z,u)",
+        "q(z) :- R(z,x), S(x,y), K(x,y)"}) {
+    auto q = Q(text);
+    auto safe = IsSafeQuery(q, SchemaKnowledge::None(q));
+    ASSERT_TRUE(safe.ok()) << text;
+    EXPECT_EQ(*safe, IsHierarchical(q)) << text;
+  }
+}
+
+// ----- Deterministic relations (Section 3.3.1, Example 23) -----
+
+TEST(MinimalPlansTest, DeterministicTMakesRstSafe) {
+  // q :- R(x), S(x,y), T^d(y) is safe: the algorithm must return one plan.
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = WithDet(q, {false, false, true});
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+  // The plan corresponds to Delta2: only T^d dissociates (on x).
+  Dissociation d = ExtractDissociation((*plans)[0], q);
+  EXPECT_EQ(d.extra[0], 0u);
+  EXPECT_EQ(d.extra[1], 0u);
+  EXPECT_EQ(d.extra[2], Vars(q, {"x"}));
+  auto safe = IsSafeQuery(q, sk);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(*safe);
+}
+
+TEST(MinimalPlansTest, DeterministicRAndTGiveJoinAllPlan) {
+  // q :- R^d(x), S(x,y), T^d(y): at most one probabilistic relation left,
+  // so the stopping rule returns the single join-all plan (Delta3's plan).
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = WithDet(q, {true, false, true});
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+  Dissociation d = ExtractDissociation((*plans)[0], q);
+  EXPECT_EQ(d.extra[0], Vars(q, {"y"}));
+  EXPECT_EQ(d.extra[2], Vars(q, {"x"}));
+  EXPECT_EQ(d.extra[1], 0u);
+}
+
+TEST(MinimalPlansTest, DisablingDrKnowledgeRestoresTwoPlans) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = WithDet(q, {false, false, true});
+  PlanEnumOptions opts;
+  opts.use_deterministic = false;
+  auto plans = EnumerateMinimalPlans(q, sk, opts);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 2u);
+}
+
+TEST(MinimalPlansTest, AllDeterministicGivesSingleJoinAll) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = WithDet(q, {true, true, true});
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+}
+
+// ----- Functional dependencies (Section 3.3.2) -----
+
+TEST(MinimalPlansTest, FdMakesRstSafe) {
+  // With S: x -> y, the query q :- R(x), S(x,y), T(y) is safe.
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = SchemaKnowledge::None(q);
+  sk.fds.push_back(QueryFD{Vars(q, {"x"}), Vars(q, {"y"})});
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+  auto safe = IsSafeQuery(q, sk);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(*safe);
+  // The chase dissociates R on y (closure of {x} is {x,y}).
+  Dissociation chase = ChaseDissociation(q, sk);
+  EXPECT_EQ(chase.extra[0], Vars(q, {"y"}));
+  EXPECT_EQ(chase.extra[1], 0u);
+  EXPECT_EQ(chase.extra[2], 0u);
+}
+
+TEST(MinimalPlansTest, FdInOtherDirectionAlsoMakesSafe) {
+  // y -> x on S is symmetric: the chase dissociates T on x (in closure(y)),
+  // q^{Delta_Gamma} is hierarchical, and a single exact plan remains
+  // (Lemma 25 / Proposition 26).
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  SchemaKnowledge sk = SchemaKnowledge::None(q);
+  sk.fds.push_back(QueryFD{Vars(q, {"y"}), Vars(q, {"x"})});
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 1u);
+  Dissociation chase = ChaseDissociation(q, sk);
+  EXPECT_EQ(chase.extra[2], Vars(q, {"x"}));
+}
+
+TEST(MinimalPlansTest, ChainQueryCountsWithoutKnowledge) {
+  for (int k = 2; k <= 6; ++k) {
+    auto q = MakeChainQuery(k);
+    auto plans = EnumerateMinimalPlans(q);
+    ASSERT_TRUE(plans.ok());
+    const uint64_t catalan[] = {1, 2, 5, 14, 42};
+    EXPECT_EQ(plans->size(), catalan[k - 2]) << k;
+    // All plans distinct structurally.
+    std::set<std::string> keys;
+    for (const auto& p : *plans) keys.insert(CanonicalKey(p));
+    EXPECT_EQ(keys.size(), plans->size()) << k;
+  }
+}
+
+TEST(MinimalPlansTest, DeterministicPetalCollapsesStar) {
+  // 2-star q :- R1(x1), R2(x2), R0(x1,x2) has 2 minimal plans. With R1
+  // deterministic, cutting x1 no longer separates two probabilistic
+  // components, so only the x2 cut survives: a single plan.
+  auto q = MakeStarQuery(2);
+  SchemaKnowledge sk = SchemaKnowledge::None(q);
+  sk.deterministic = {true, false, false};  // atoms: R1, R2, R0
+  auto plans = EnumerateMinimalPlans(q, sk);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 1u);
+  auto none = EnumerateMinimalPlans(q);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->size(), 2u);
+}
+
+TEST(MinimalPlansTest, PlansProjectToQueryHead) {
+  auto q = Q("q(z) :- R(z,x), S(x,y), T(y)");
+  auto plans = EnumerateMinimalPlans(q);
+  ASSERT_TRUE(plans.ok());
+  for (const auto& p : *plans) {
+    EXPECT_EQ(p->head, q.HeadMask()) << PlanToString(p, q);
+  }
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,188 @@
+// Unit tests for the execution operators: scan, hash join, projections, min.
+#include <gtest/gtest.h>
+
+#include "src/exec/operators.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Q;
+using testing_util::Vars;
+
+TEST(ScanTest, EmitsVariablesInAscendingOrder) {
+  auto q = Q("q() :- R(y,x)");  // y gets id 0, x gets id 1
+  Database db;
+  AddTable(&db, "R", 2, {{{7, 8}, 0.5}});
+  auto rel = ScanAtom(db, q, 0);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->NumRows(), 1u);
+  ASSERT_EQ(rel->arity(), 2);
+  // Column order follows VarId order (y=0 then x=1), values from positions.
+  EXPECT_EQ(rel->At(0, 0), Value::Int64(7));  // y
+  EXPECT_EQ(rel->At(0, 1), Value::Int64(8));  // x
+  EXPECT_DOUBLE_EQ(rel->Score(0), 0.5);
+}
+
+TEST(ScanTest, ConstantSelection) {
+  auto q = Q("q() :- R(x, 5)");
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 5}, 0.3}, {{2, 6}, 0.4}, {{3, 5}, 0.5}});
+  auto rel = ScanAtom(db, q, 0);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumRows(), 2u);
+}
+
+TEST(ScanTest, RepeatedVariableSelection) {
+  auto q = Q("q() :- R(x, x)");
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 1}, 0.3}, {{1, 2}, 0.4}, {{2, 2}, 0.5}});
+  auto rel = ScanAtom(db, q, 0);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumRows(), 2u);
+  EXPECT_EQ(rel->arity(), 1);
+}
+
+TEST(ScanTest, OverrideTableUsed) {
+  auto q = Q("q() :- R(x)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  Table small(RelationSchema::AllInt64("R", 1));
+  small.AddRow({Value::Int64(9)}, 0.9);
+  auto rel = ScanAtom(db, q, 0, &small);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->NumRows(), 1u);
+  EXPECT_EQ(rel->At(0, 0), Value::Int64(9));
+}
+
+TEST(ScanTest, MissingTableFails) {
+  auto q = Q("q() :- Nope(x)");
+  Database db;
+  EXPECT_FALSE(ScanAtom(db, q, 0).ok());
+}
+
+TEST(HashJoinTest, ScoresMultiply) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.25}});
+  AddTable(&db, "S", 2, {{{1, 4}, 0.4}, {{1, 5}, 0.8}, {{3, 6}, 0.9}});
+  auto r = ScanAtom(db, q, 0);
+  auto s = ScanAtom(db, q, 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(s.ok());
+  Rel joined = HashJoin(*r, *s);
+  ASSERT_EQ(joined.NumRows(), 2u);  // x=1 matches two S rows; x=2,3 none
+  for (size_t i = 0; i < joined.NumRows(); ++i) {
+    double expected = joined.At(i, joined.ColIndex(q.FindVar("y"))) ==
+                              Value::Int64(4)
+                          ? 0.5 * 0.4
+                          : 0.5 * 0.8;
+    EXPECT_DOUBLE_EQ(joined.Score(i), expected);
+  }
+}
+
+TEST(HashJoinTest, CartesianWhenNoSharedVars) {
+  auto q = Q("q() :- R(x), S(y)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  AddTable(&db, "S", 1, {{{7}, 0.5}, {{8}, 0.5}, {{9}, 0.5}});
+  auto r = ScanAtom(db, q, 0);
+  auto s = ScanAtom(db, q, 1);
+  Rel joined = HashJoin(*r, *s);
+  EXPECT_EQ(joined.NumRows(), 6u);
+}
+
+TEST(HashJoinTest, MultiColumnKeys) {
+  auto q = Q("q() :- R(x,y), S(x,y)");
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 1}, 0.5}, {{1, 2}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 1}, 0.5}, {{2, 2}, 0.5}});
+  auto r = ScanAtom(db, q, 0);
+  auto s = ScanAtom(db, q, 1);
+  Rel joined = HashJoin(*r, *s);
+  ASSERT_EQ(joined.NumRows(), 1u);
+  EXPECT_EQ(joined.At(0, 0), Value::Int64(1));
+  EXPECT_EQ(joined.At(0, 1), Value::Int64(1));
+}
+
+TEST(ProjectIndependentTest, CombinesGroupScores) {
+  auto q = Q("q() :- S(x,y)");
+  Database db;
+  AddTable(&db, "S", 2, {{{1, 4}, 0.5}, {{1, 5}, 0.5}, {{2, 6}, 0.25}});
+  auto s = ScanAtom(db, q, 0);
+  Rel projected = ProjectIndependent(*s, Vars(q, {"x"}));
+  ASSERT_EQ(projected.NumRows(), 2u);
+  for (size_t i = 0; i < projected.NumRows(); ++i) {
+    if (projected.At(i, 0) == Value::Int64(1)) {
+      EXPECT_DOUBLE_EQ(projected.Score(i), 1.0 - 0.5 * 0.5);  // 0.75
+    } else {
+      EXPECT_DOUBLE_EQ(projected.Score(i), 0.25);
+    }
+  }
+}
+
+TEST(ProjectIndependentTest, BooleanProjection) {
+  auto q = Q("q() :- R(x)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  auto r = ScanAtom(db, q, 0);
+  Rel b = ProjectIndependent(*r, 0);
+  ASSERT_EQ(b.NumRows(), 1u);
+  EXPECT_EQ(b.arity(), 0);
+  EXPECT_DOUBLE_EQ(b.Score(0), 0.75);
+}
+
+TEST(ProjectDistinctTest, DropsScores) {
+  auto q = Q("q() :- S(x,y)");
+  Database db;
+  AddTable(&db, "S", 2, {{{1, 4}, 0.5}, {{1, 5}, 0.5}});
+  auto s = ScanAtom(db, q, 0);
+  Rel d = ProjectDistinct(*s, Vars(q, {"x"}));
+  ASSERT_EQ(d.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(d.Score(0), 1.0);
+}
+
+TEST(MinMergeTest, TakesPerRowMinimum) {
+  Rel a({0});
+  a.AddRow(std::vector<Value>{Value::Int64(1)}, 0.5);
+  a.AddRow(std::vector<Value>{Value::Int64(2)}, 0.9);
+  Rel b({0});
+  b.AddRow(std::vector<Value>{Value::Int64(1)}, 0.3);
+  b.AddRow(std::vector<Value>{Value::Int64(2)}, 0.95);
+  auto m = MinMerge({a, b});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->NumRows(), 2u);
+  for (size_t i = 0; i < m->NumRows(); ++i) {
+    double expect = m->At(i, 0) == Value::Int64(1) ? 0.3 : 0.9;
+    EXPECT_DOUBLE_EQ(m->Score(i), expect);
+  }
+}
+
+TEST(MinMergeTest, MismatchedVarsRejected) {
+  Rel a({0});
+  Rel b({1});
+  EXPECT_FALSE(MinMerge({a, b}).ok());
+}
+
+TEST(MinMergeTest, BooleanRelations) {
+  Rel a({});
+  a.AddRow({}, 0.8);
+  Rel b({});
+  b.AddRow({}, 0.6);
+  auto m = MinMerge({a, b});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(m->Score(0), 0.6);
+}
+
+TEST(RelTest, ColIndexBinarySearch) {
+  Rel r({0, 3, 5});
+  EXPECT_EQ(r.ColIndex(0), 0);
+  EXPECT_EQ(r.ColIndex(3), 1);
+  EXPECT_EQ(r.ColIndex(5), 2);
+  EXPECT_EQ(r.ColIndex(4), -1);
+}
+
+}  // namespace
+}  // namespace dissodb

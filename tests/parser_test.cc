@@ -1,0 +1,140 @@
+// Unit tests for the datalog query parser.
+#include <gtest/gtest.h>
+
+#include "src/query/parser.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+namespace {
+
+TEST(ParserTest, SimpleBooleanQuery) {
+  auto q = ParseQuery("q() :- R(x), S(x,y)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsBoolean());
+  EXPECT_EQ(q->num_atoms(), 2);
+  EXPECT_EQ(q->num_vars(), 2);
+  EXPECT_EQ(q->atom(0).relation, "R");
+  EXPECT_EQ(q->atom(1).relation, "S");
+}
+
+TEST(ParserTest, HeadVariables) {
+  auto q = ParseQuery("q(z) :- R(z,x), S(x,y), T(y)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->head_vars().size(), 1u);
+  EXPECT_EQ(q->var_name(q->head_vars()[0]), "z");
+  EXPECT_EQ(MaskCount(q->EVarMask()), 2);
+}
+
+TEST(ParserTest, TrailingPeriodAllowed) {
+  EXPECT_TRUE(ParseQuery("q() :- R(x).").ok());
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  auto q = ParseQuery("  q ( x )  :-  R ( x , y ) ,  S ( y )  ");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_atoms(), 2);
+}
+
+TEST(ParserTest, IntegerConstants) {
+  auto q = ParseQuery("q() :- R(x, 42), S(-3)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->atom(0).terms[1].is_var);
+  EXPECT_EQ(q->atom(0).terms[1].constant, Value::Int64(42));
+  EXPECT_EQ(q->atom(1).terms[0].constant, Value::Int64(-3));
+}
+
+TEST(ParserTest, DoubleConstants) {
+  auto q = ParseQuery("q() :- R(1.5)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atom(0).terms[0].constant.type(), ValueType::kDouble);
+}
+
+TEST(ParserTest, StringConstantsNeedPool) {
+  EXPECT_FALSE(ParseQuery("q() :- R('a')").ok());
+  StringPool pool;
+  auto q = ParseQuery("q() :- R('a', x)", &pool);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(pool.Get(q->atom(0).terms[0].constant.AsStringCode()), "a");
+}
+
+TEST(ParserTest, RepeatedVariableInAtom) {
+  auto q = ParseQuery("q() :- R(x,x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 1);
+  EXPECT_EQ(MaskCount(q->AtomMask(0)), 1);
+}
+
+TEST(ParserTest, SelfJoinRejected) {
+  auto q = ParseQuery("q() :- R(x), R(y)");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("self-join"), std::string::npos);
+}
+
+TEST(ParserTest, HeadVariableMustOccurInBody) {
+  EXPECT_FALSE(ParseQuery("q(z) :- R(x)").ok());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  auto q = ParseQuery("q() :- R()");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atom(0).arity(), 0);
+}
+
+TEST(ParserTest, MissingBodyRejected) {
+  EXPECT_FALSE(ParseQuery("q(x)").ok());
+  EXPECT_FALSE(ParseQuery("q(x) :-").ok());
+}
+
+TEST(ParserTest, BadHeadRejected) {
+  EXPECT_FALSE(ParseQuery("(x) :- R(x)").ok());
+  EXPECT_FALSE(ParseQuery("q(X) :- R(X)").ok());  // uppercase head var
+  EXPECT_FALSE(ParseQuery("q(3) :- R(x)").ok());  // constant in head
+}
+
+TEST(ParserTest, UnterminatedAtomRejected) {
+  EXPECT_FALSE(ParseQuery("q() :- R(x").ok());
+  EXPECT_FALSE(ParseQuery("q() :- R(x,)").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseQuery("q() :- R(x) garbage").ok());
+}
+
+TEST(ParserTest, UppercaseTermsAreNotVariables) {
+  EXPECT_FALSE(ParseQuery("q() :- R(Foo)").ok());
+}
+
+TEST(ParserTest, UnterminatedStringRejected) {
+  StringPool pool;
+  EXPECT_FALSE(ParseQuery("q() :- R('abc)", &pool).ok());
+}
+
+TEST(ParserTest, SharedVariablesGetSameId) {
+  auto q = ParseQuery("q() :- R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 3);
+  EXPECT_NE(q->AtomMask(0) & q->AtomMask(1), 0u);
+}
+
+TEST(ParserTest, ToStringRoundTripsStructure) {
+  auto q = ParseQuery("q(z) :- R(z,x), S(x,y)");
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  auto q2 = ParseQuery(s);
+  ASSERT_TRUE(q2.ok()) << s;
+  EXPECT_EQ(q2->num_atoms(), q->num_atoms());
+  EXPECT_EQ(q2->head_vars().size(), q->head_vars().size());
+}
+
+TEST(ParserTest, PaperIntroQueries) {
+  // q1(z) :- R(z,x), S(x,y), K(x,y)  and  q2(z) :- R(z,x), S(x,y), T(y)
+  auto q1 = ParseQuery("q1(z) :- R(z,x), S(x,y), K(x,y)");
+  auto q2 = ParseQuery("q2(z) :- R(z,x), S(x,y), T(y)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->num_atoms(), 3);
+  EXPECT_EQ(q2->num_atoms(), 3);
+}
+
+}  // namespace
+}  // namespace dissodb

@@ -1,0 +1,158 @@
+// Unit tests for the plan AST, safety check, canonicalization, printing and
+// SQL generation.
+#include <gtest/gtest.h>
+
+#include "src/plan/plan.h"
+#include "src/plan/plan_print.h"
+#include "src/plan/sql_gen.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Q;
+using testing_util::Vars;
+
+TEST(PlanTest, ScanHeadCombinesRealAndVirtualVars) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr scan = MakeScan(0, q.AtomMask(0), Vars(q, {"y"}));
+  EXPECT_EQ(scan->head, Vars(q, {"x", "y"}));
+  EXPECT_EQ(scan->extra_vars, Vars(q, {"y"}));
+  EXPECT_EQ(scan->atom_idx, 0);
+}
+
+TEST(PlanTest, JoinHeadIsUnion) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr j = MakeJoin({MakeScan(0, q.AtomMask(0)), MakeScan(1, q.AtomMask(1))});
+  EXPECT_EQ(j->head, Vars(q, {"x", "y"}));
+}
+
+TEST(PlanTest, ProjectNarrowsHead) {
+  auto q = Q("q() :- S(x,y)");
+  PlanPtr p = MakeProject(Vars(q, {"x"}), MakeScan(0, q.AtomMask(0)));
+  EXPECT_EQ(p->head, Vars(q, {"x"}));
+}
+
+TEST(PlanTest, MinOfOneCollapses) {
+  auto q = Q("q() :- R(x)");
+  PlanPtr s = MakeScan(0, q.AtomMask(0));
+  PlanPtr m = MakeMin({s});
+  EXPECT_EQ(m.get(), s.get());
+}
+
+TEST(PlanTest, SafePlanDetection) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  // Safe: pi_{}( R(x) |x| pi_x(S(x,y)) ) — join children share head {x}.
+  PlanPtr safe = MakeProject(
+      0, MakeJoin({MakeScan(0, q.AtomMask(0)),
+                   MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)))}));
+  EXPECT_TRUE(IsSafePlan(safe));
+  // Unsafe: join children with different heads.
+  PlanPtr unsafe = MakeProject(
+      0, MakeJoin({MakeScan(0, q.AtomMask(0)), MakeScan(1, q.AtomMask(1))}));
+  EXPECT_FALSE(IsSafePlan(unsafe));
+}
+
+TEST(PlanTest, AtomSetCollectsLeaves) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  PlanPtr p = MakeJoin({MakeScan(0, q.AtomMask(0)), MakeScan(2, q.AtomMask(2))});
+  EXPECT_EQ(PlanAtomSet(p), 0b101u);
+}
+
+TEST(PlanTest, MeasurePlanCountsSharedNodesOnce) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr shared = MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)));
+  PlanPtr a = MakeJoin({MakeScan(0, q.AtomMask(0)), shared});
+  PlanPtr b = MakeJoin({MakeScan(0, q.AtomMask(0)), shared});
+  PlanPtr m = MakeMin({MakeProject(0, a), MakeProject(0, b)});
+  PlanSize sz = MeasurePlan(m);
+  EXPECT_LT(sz.dag_nodes, sz.tree_nodes);
+}
+
+TEST(PlanTest, CanonicalKeyIgnoresJoinOrder) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr a = MakeJoin({MakeScan(0, q.AtomMask(0)), MakeScan(1, q.AtomMask(1))});
+  PlanPtr b = MakeJoin({MakeScan(1, q.AtomMask(1)), MakeScan(0, q.AtomMask(0))});
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST(PlanTest, CanonicalKeyDistinguishesDissociation) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr a = MakeScan(0, q.AtomMask(0));
+  PlanPtr b = MakeScan(0, q.AtomMask(0), Vars(q, {"y"}));
+  EXPECT_NE(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST(PlanPrintTest, RendersPaperNotation) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr p = MakeProject(
+      0, MakeJoin({MakeScan(0, q.AtomMask(0)),
+                   MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)))}));
+  std::string s = PlanToString(p, q);
+  EXPECT_NE(s.find("pi_{-x}"), std::string::npos);
+  EXPECT_NE(s.find("R(x)"), std::string::npos);
+  EXPECT_NE(s.find("S(x,y)"), std::string::npos);
+  EXPECT_NE(s.find("Join["), std::string::npos);
+}
+
+TEST(PlanPrintTest, DissociatedLeafShowsSuperscript) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr s = MakeScan(0, q.AtomMask(0), Vars(q, {"y"}));
+  std::string out = PlanToString(s, q);
+  EXPECT_NE(out.find("R^{y}"), std::string::npos);
+}
+
+TEST(PlanPrintTest, TreePrinterLabelsSharedViews) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  PlanPtr shared = MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)));
+  PlanPtr m = MakeMin(
+      {MakeProject(0, MakeJoin({MakeScan(0, q.AtomMask(0)), shared})),
+       MakeProject(0, MakeJoin({MakeScan(0, q.AtomMask(0), Vars(q, {"y"})),
+                                shared}))});
+  std::string s = PlanToTreeString(m, q);
+  EXPECT_NE(s.find("V1"), std::string::npos);
+  EXPECT_NE(s.find("(shared)"), std::string::npos);
+}
+
+TEST(SqlGenTest, GeneratesCtesAndAggregation) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 2}, 0.5}});
+  PlanPtr p = MakeProject(
+      0, MakeJoin({MakeScan(0, q.AtomMask(0)),
+                   MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)))}));
+  std::string sql = PlanToSql(p, q, db);
+  EXPECT_NE(sql.find("WITH"), std::string::npos);
+  EXPECT_NE(sql.find("FROM R"), std::string::npos);
+  EXPECT_NE(sql.find("FROM S"), std::string::npos);
+  EXPECT_NE(sql.find("EXP(SUM(LN("), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY x"), std::string::npos);
+}
+
+TEST(SqlGenTest, ConstantsBecomeWhereClauses) {
+  auto q = Q("q() :- R(x, 7)");
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 7}, 0.5}});
+  PlanPtr p = MakeProject(0, MakeScan(0, q.AtomMask(0)));
+  std::string sql = PlanToSql(p, q, db);
+  EXPECT_NE(sql.find("c1 = 7"), std::string::npos);
+}
+
+TEST(SqlGenTest, MinBecomesLeast) {
+  auto q = Q("q() :- R(x), S(x,y)");
+  Database db;
+  AddTable(&db, "R", 1, {});
+  AddTable(&db, "S", 2, {});
+  PlanPtr shared = MakeProject(Vars(q, {"x"}), MakeScan(1, q.AtomMask(1)));
+  PlanPtr m = MakeMin(
+      {MakeProject(0, MakeJoin({MakeScan(0, q.AtomMask(0)), shared})),
+       MakeProject(0, MakeJoin({MakeScan(0, q.AtomMask(0), Vars(q, {"y"})),
+                                shared}))});
+  std::string sql = PlanToSql(m, q, db);
+  EXPECT_NE(sql.find("LEAST("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dissodb
