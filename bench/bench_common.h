@@ -30,6 +30,20 @@ std::string Fmt(double v);
 std::string FmtMs(double ms);
 
 // ---------------------------------------------------------------------------
+// Machine-readable results: every bench binary can record (op, rows,
+// ns/row) tuples and flush them to BENCH_<name>.json, so the perf
+// trajectory is tracked across PRs by diffing JSON, not console logs.
+// ---------------------------------------------------------------------------
+
+/// Records one measurement (op name, input rows, nanoseconds per row).
+void BenchJsonRecord(const std::string& op, size_t rows, double ns_per_row);
+
+/// Writes all recorded measurements to `BENCH_<bench_name>.json` in the
+/// current directory and clears the record buffer. Format:
+///   {"bench": "<name>", "results": [{"op": ..., "rows": N, "ns_per_row": X}]}
+void BenchJsonWrite(const std::string& bench_name);
+
+// ---------------------------------------------------------------------------
 // Evaluation strategies for the runtime figures (5a-5d).
 // ---------------------------------------------------------------------------
 

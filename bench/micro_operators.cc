@@ -36,7 +36,7 @@ void BM_ScanAtom(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ScanAtom)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ScanAtom)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 void BM_HashJoin(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -50,7 +50,7 @@ void BM_HashJoin(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 void BM_ProjectIndependent(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -64,7 +64,7 @@ void BM_ProjectIndependent(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ProjectIndependent)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ProjectIndependent)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 void BM_MinCutsChain(benchmark::State& state) {
   int k = static_cast<int>(state.range(0));
@@ -133,4 +133,92 @@ void BM_PropagationChain4(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagationChain4)->Arg(1000)->Arg(10000);
 
+void BM_EngineCachedQuery(benchmark::State& state) {
+  // Steady-state facade path: parse + plan-cache hit + vectorized eval.
+  size_t n = static_cast<size_t>(state.range(0));
+  Database* db = ChainDb(4, n);
+  QueryEngine engine = QueryEngine::Borrow(*db);
+  ConjunctiveQuery q = MakeChainQuery(4);
+  for (auto _ : state) {
+    auto res = engine.Run(q);
+    benchmark::DoNotOptimize(res->answers.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineCachedQuery)->Arg(1000)->Arg(10000);
+
+/// One timed operator pass over a size-n 2-chain database, shared by the
+/// JSON capture cases below.
+double MeasureScanMs(size_t n) {
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  return TimeMs([&] {
+    auto rel = ScanAtom(*db, q, 0);
+    benchmark::DoNotOptimize(rel->NumRows());
+  });
+}
+
+double MeasureJoinMs(size_t n) {
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  auto left = ScanAtom(*db, q, 0);
+  auto right = ScanAtom(*db, q, 1);
+  return TimeMs([&] {
+    Rel out = HashJoin(*left, *right);
+    benchmark::DoNotOptimize(out.NumRows());
+  });
+}
+
+double MeasureProjectMs(size_t n) {
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  auto rel = ScanAtom(*db, q, 0);
+  VarMask keep = MaskOf(q.FindVar("x0"));
+  return TimeMs([&] {
+    Rel out = ProjectIndependent(*rel, keep);
+    benchmark::DoNotOptimize(out.NumRows());
+  });
+}
+
+/// Machine-readable capture of the headline operators (BENCH_*.json): the
+/// numbers the perf trajectory is tracked by across PRs.
+void CaptureJson() {
+  struct OpCase {
+    const char* op;
+    size_t rows;
+    double (*measure_ms)(size_t);
+  };
+  for (OpCase oc : {OpCase{"scan_atom", 1000000, MeasureScanMs},
+                    OpCase{"hash_join", 1000000, MeasureJoinMs},
+                    OpCase{"project_independent", 1000000, MeasureProjectMs},
+                    OpCase{"hash_join", 100000, MeasureJoinMs},
+                    OpCase{"project_independent", 100000, MeasureProjectMs}}) {
+    double ms = oc.measure_ms(oc.rows);
+    BenchJsonRecord(oc.op, oc.rows, ms * 1e6 / static_cast<double>(oc.rows));
+  }
+  {
+    // Facade steady state at 10k rows (chain-4 propagation query).
+    const size_t n = 10000;
+    Database* db = ChainDb(4, n);
+    QueryEngine engine = QueryEngine::Borrow(*db);
+    ConjunctiveQuery q = MakeChainQuery(4);
+    double ms = TimeMs([&] {
+      auto res = engine.Run(q);
+      benchmark::DoNotOptimize(res->answers.size());
+    });
+    BenchJsonRecord("engine_cached_query_chain4", n,
+                    ms * 1e6 / static_cast<double>(n));
+  }
+  BenchJsonWrite("micro_operators");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  CaptureJson();
+  return 0;
+}

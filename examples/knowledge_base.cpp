@@ -77,7 +77,13 @@ int main() {
   std::printf("query: %s\n", q->ToString().c_str());
   std::printf("hierarchical (safe): %s\n\n", IsHierarchical(*q) ? "yes" : "no");
 
-  auto diss = PropagationScore(db, *q);
+  // The engine facade ranks answers by propagation score.
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto diss = engine.Run(*q);
+  if (!diss.ok()) {
+    std::printf("query failed: %s\n", diss.status().ToString().c_str());
+    return 1;
+  }
   std::printf("cities ranked by propagation score (upper bound):\n%s\n",
               RankingToString(diss->answers, db).c_str());
 

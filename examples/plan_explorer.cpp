@@ -84,5 +84,21 @@ int main(int argc, char** argv) {
                 sz.dag_nodes, sz.tree_nodes,
                 PlanToTreeString(*single, *q).c_str());
   }
+
+  // End-to-end: evaluate the query on a small random instance through the
+  // QueryEngine facade.
+  Rng rng(7);
+  RandomInstanceSpec ispec;
+  ispec.max_rows = 6;
+  ispec.domain = 4;
+  Database db = RandomDatabaseFor(*q, &rng, ispec);
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto res = engine.Run(*q);
+  if (res.ok()) {
+    std::printf("\nsample evaluation on a random instance "
+                "(%zu answers, %zu plan nodes evaluated):\n%s",
+                res->answers.size(), res->nodes_evaluated,
+                RankingToString(res->answers, db, 5).c_str());
+  }
   return 0;
 }

@@ -34,7 +34,8 @@ int main() {
   }
 
   // 2. Parse a query in datalog syntax.
-  auto q = ParseQuery("q() :- R(x), S(x,y), T(y)");
+  const char* kQueryText = "q() :- R(x), S(x,y), T(y)";
+  auto q = ParseQuery(kQueryText);
   if (!q.ok()) {
     std::printf("parse error: %s\n", q.status().ToString().c_str());
     return 1;
@@ -54,9 +55,20 @@ int main() {
                 scores->empty() ? 0.0 : (*scores)[0].score);
   }
 
-  // 4. The propagation score: one optimized evaluation combining all plans.
-  auto rho = PropagationScoreBoolean(db, *q);
+  // 4. The propagation score through the QueryEngine facade: one object
+  //    owning parse -> plan choice -> vectorized evaluation, with compiled
+  //    plans cached across calls (safe for concurrent readers).
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto rho = engine.RunBoolean(kQueryText);
+  if (!rho.ok()) {
+    std::printf("query failed: %s\n", rho.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\npropagation score rho(q) = %.6f\n", *rho);
+  (void)engine.RunBoolean(kQueryText);  // plan-cache hit
+  auto stats = engine.stats();
+  std::printf("engine: %zu queries, %zu plan-cache hits, %zu misses\n",
+              stats.queries, stats.plan_cache_hits, stats.plan_cache_misses);
 
   // 5. Ground truth by exact weighted model counting on the lineage.
   auto exact = ExactProbabilities(db, *q);

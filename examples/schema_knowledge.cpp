@@ -18,8 +18,8 @@ void Report(const char* title, const ConjunctiveQuery& q,
   for (const auto& p : *plans) {
     std::printf("    %s\n", PlanToString(p, q).c_str());
   }
-  PropagationOptions opts;
-  auto rho = PropagationScore(db, q, opts);
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto rho = engine.Run(q);
   auto exact = ExactProbabilities(db, q);
   double r = rho->answers.empty() ? 0 : rho->answers[0].score;
   double e = exact->empty() ? 0 : (*exact)[0].score;

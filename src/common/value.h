@@ -49,6 +49,14 @@ class Value {
     x.i_ = code;
     return x;
   }
+  /// Reconstructs a value from its tag and raw 64-bit payload (the columnar
+  /// storage representation; inverse of RawBits()).
+  static Value FromRawBits(ValueType t, uint64_t bits) {
+    Value x;
+    x.type_ = t;
+    x.i_ = static_cast<int64_t>(bits);
+    return x;
+  }
 
   ValueType type() const { return type_; }
   int64_t AsInt64() const { return i_; }

@@ -1,8 +1,7 @@
 #include "src/dissociation/propagation.h"
 
-#include "src/dissociation/single_plan.h"
+#include "src/engine/query_engine.h"
 #include "src/exec/evaluator.h"
-#include "src/exec/semijoin.h"
 
 namespace dissodb {
 
@@ -10,48 +9,19 @@ Result<PropagationResult> PropagationScore(
     const Database& db, const ConjunctiveQuery& q,
     const PropagationOptions& opts,
     const std::unordered_map<int, const Table*>& overrides) {
-  auto sk = SchemaKnowledge::FromDatabase(q, db);
-  if (!sk.ok()) return sk.status();
-
+  // One-shot engine without a plan cache: the engine facade owns the
+  // pipeline (parse -> plans -> reduction -> evaluation); this remains the
+  // paper-facing functional API over it.
+  EngineOptions eo;
+  eo.propagation = opts;
+  eo.plan_cache_capacity = 0;
+  QueryEngine engine = QueryEngine::Borrow(db, eo);
+  auto r = engine.Run(q, overrides);
+  if (!r.ok()) return r.status();
   PropagationResult result;
-  {
-    auto plans = EnumerateMinimalPlans(q, *sk, opts.enum_opts);
-    if (!plans.ok()) return plans.status();
-    result.num_minimal_plans = plans->size();
-  }
-
-  // Opt. 3: semi-join-reduce the inputs first.
-  std::vector<Table> reduced;
-  std::unordered_map<int, const Table*> effective = overrides;
-  if (opts.opt3_semijoin_reduction) {
-    auto r = SemiJoinReduce(db, q, overrides);
-    if (!r.ok()) return r.status();
-    reduced = std::move(*r);
-    for (int i = 0; i < q.num_atoms(); ++i) effective[i] = &reduced[i];
-  }
-
-  Rel scores(std::vector<VarId>{});
-  if (opts.opt1_single_plan) {
-    SinglePlanOptions sp;
-    sp.reuse_common_subplans = opts.opt2_reuse_subplans;
-    sp.enum_opts = opts.enum_opts;
-    auto plan = BuildSinglePlan(q, *sk, sp);
-    if (!plan.ok()) return plan.status();
-    PlanEvaluator ev(db, q);
-    for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
-    auto rel = ev.Evaluate(*plan);
-    if (!rel.ok()) return rel.status();
-    result.nodes_evaluated = ev.nodes_evaluated();
-    scores = **rel;
-  } else {
-    auto plans = EnumerateMinimalPlans(q, *sk, opts.enum_opts);
-    if (!plans.ok()) return plans.status();
-    auto rel = EvaluatePlansSeparately(db, q, *plans, effective);
-    if (!rel.ok()) return rel.status();
-    for (const auto& p : *plans) result.nodes_evaluated += MeasurePlan(p).tree_nodes;
-    scores = std::move(*rel);
-  }
-  result.answers = RankAnswers(scores);
+  result.answers = std::move(r->answers);
+  result.num_minimal_plans = r->num_minimal_plans;
+  result.nodes_evaluated = r->nodes_evaluated;
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "src/dissociation/minimal_plans.h"
 #include "src/dissociation/propagation.h"
 #include "src/dissociation/single_plan.h"
+#include "src/engine/query_engine.h"
 #include "src/exec/deterministic.h"
 #include "src/exec/evaluator.h"
 #include "src/exec/operators.h"
@@ -35,6 +36,7 @@
 #include "src/query/cq.h"
 #include "src/query/cuts.h"
 #include "src/query/parser.h"
+#include "src/storage/columnar.h"
 #include "src/storage/database.h"
 #include "src/storage/schema.h"
 #include "src/storage/table.h"

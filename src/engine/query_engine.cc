@@ -1,0 +1,165 @@
+#include "src/engine/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/dissociation/minimal_plans.h"
+#include "src/dissociation/single_plan.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/semijoin.h"
+#include "src/query/analysis.h"
+#include "src/query/parser.h"
+
+namespace dissodb {
+
+namespace {
+
+/// Cache key: canonical query rendering plus the flags that change the
+/// compiled artifact.
+std::string CacheKey(const ConjunctiveQuery& q, const PropagationOptions& o) {
+  std::string key = q.ToString();
+  key += '|';
+  key += o.opt1_single_plan ? '1' : '0';
+  key += o.opt2_reuse_subplans ? '1' : '0';
+  key += o.enum_opts.use_deterministic ? '1' : '0';
+  key += o.enum_opts.use_fds ? '1' : '0';
+  return key;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
+                         EngineOptions opts)
+    : db_(std::move(db)), opts_(opts) {}
+
+QueryEngine QueryEngine::Borrow(const Database& db, EngineOptions opts) {
+  // Aliasing shared_ptr: shares no ownership; the caller keeps `db` alive.
+  return QueryEngine(std::shared_ptr<const Database>(
+                         std::shared_ptr<const Database>(), &db),
+                     opts);
+}
+
+Result<QueryResult> QueryEngine::Run(
+    std::string_view query_text,
+    const std::unordered_map<int, const Table*>& overrides) {
+  auto q = ParseQueryReadOnly(query_text, db_->strings());
+  if (!q.ok()) return q.status();
+  return Run(*q, overrides);
+}
+
+Result<QueryResult> QueryEngine::Run(
+    const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides) {
+  bool cache_hit = false;
+  auto compiled = GetOrCompile(q, &cache_hit);
+  if (!compiled.ok()) return compiled.status();
+
+  const PropagationOptions& popts = opts_.propagation;
+  QueryResult result;
+  result.num_minimal_plans = (*compiled)->num_minimal_plans;
+  result.from_plan_cache = cache_hit;
+
+  // Opt. 3: semi-join-reduce the inputs first.
+  std::vector<Table> reduced;
+  std::unordered_map<int, const Table*> effective = overrides;
+  if (popts.opt3_semijoin_reduction) {
+    auto r = SemiJoinReduce(*db_, q, overrides);
+    if (!r.ok()) return r.status();
+    reduced = std::move(*r);
+    for (int i = 0; i < q.num_atoms(); ++i) effective[i] = &reduced[i];
+  }
+
+  Rel scores(std::vector<VarId>{});
+  if ((*compiled)->single_plan) {
+    PlanEvaluator ev(*db_, q);
+    for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
+    auto rel = ev.Evaluate((*compiled)->single_plan);
+    if (!rel.ok()) return rel.status();
+    result.nodes_evaluated = ev.nodes_evaluated();
+    scores = **rel;
+  } else {
+    auto rel = EvaluatePlansSeparately(*db_, q, (*compiled)->plans, effective);
+    if (!rel.ok()) return rel.status();
+    for (const auto& p : (*compiled)->plans) {
+      result.nodes_evaluated += MeasurePlan(p).tree_nodes;
+    }
+    scores = std::move(*rel);
+  }
+  result.answers = RankAnswers(scores);
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<double> QueryEngine::RunBoolean(std::string_view query_text) {
+  auto q = ParseQueryReadOnly(query_text, db_->strings());
+  if (!q.ok()) return q.status();
+  if (!q->IsBoolean()) {
+    return Status::InvalidArgument("query has head variables");
+  }
+  auto r = Run(*q);
+  if (!r.ok()) return r.status();
+  if (r->answers.empty()) return 0.0;
+  return r->answers[0].score;
+}
+
+Result<std::shared_ptr<const QueryEngine::CompiledQuery>>
+QueryEngine::GetOrCompile(const ConjunctiveQuery& q, bool* cache_hit) {
+  const std::string key = CacheKey(q, opts_.propagation);
+  if (opts_.plan_cache_capacity > 0) {
+    std::shared_lock lock(mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      *cache_hit = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  *cache_hit = false;
+
+  // Compile outside any lock: enumeration can be expensive and two threads
+  // compiling the same key just race to an identical immutable artifact.
+  auto sk = SchemaKnowledge::FromDatabase(q, *db_);
+  if (!sk.ok()) return sk.status();
+
+  auto compiled = std::make_shared<CompiledQuery>();
+  {
+    auto plans = EnumerateMinimalPlans(q, *sk, opts_.propagation.enum_opts);
+    if (!plans.ok()) return plans.status();
+    compiled->num_minimal_plans = plans->size();
+    if (!opts_.propagation.opt1_single_plan) compiled->plans = std::move(*plans);
+  }
+  if (opts_.propagation.opt1_single_plan) {
+    SinglePlanOptions sp;
+    sp.reuse_common_subplans = opts_.propagation.opt2_reuse_subplans;
+    sp.enum_opts = opts_.propagation.enum_opts;
+    auto plan = BuildSinglePlan(q, *sk, sp);
+    if (!plan.ok()) return plan.status();
+    compiled->single_plan = std::move(*plan);
+  }
+
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.plan_cache_capacity > 0) {
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = plan_cache_.try_emplace(key, compiled);
+    if (inserted) {
+      cache_order_.push_back(key);
+      if (cache_order_.size() > opts_.plan_cache_capacity) {
+        plan_cache_.erase(cache_order_.front());
+        cache_order_.erase(cache_order_.begin());
+      }
+    }
+    return it->second;
+  }
+  return std::shared_ptr<const CompiledQuery>(std::move(compiled));
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dissodb

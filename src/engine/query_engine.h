@@ -1,0 +1,112 @@
+// QueryEngine — the reusable engine facade over one immutable database.
+//
+// Owns the full pipeline: parse -> structural analysis / schema knowledge ->
+// dissociation plan choice (Algorithms 1-3) -> optional semi-join reduction
+// -> vectorized plan evaluation -> ranked answers. Compiled plans are cached
+// by query signature + optimization flags, so repeated queries skip
+// enumeration and plan construction entirely.
+//
+// Thread safety: the engine never mutates the database (string constants
+// parse through the read-only pool path), and the plan cache is guarded by
+// a shared mutex — any number of threads may call Run() concurrently on one
+// engine over one shared immutable Database.
+#ifndef DISSODB_ENGINE_QUERY_ENGINE_H_
+#define DISSODB_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dissociation/propagation.h"
+#include "src/exec/ranking.h"
+#include "src/plan/plan.h"
+#include "src/query/cq.h"
+#include "src/storage/database.h"
+
+namespace dissodb {
+
+/// Engine-wide configuration; per-query strategy comes from
+/// PropagationOptions (Section 4 optimization toggles).
+struct EngineOptions {
+  PropagationOptions propagation;
+  /// Max cached compiled plans; 0 disables the cache.
+  size_t plan_cache_capacity = 1024;
+};
+
+struct EngineStats {
+  size_t queries = 0;
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
+};
+
+struct QueryResult {
+  /// Answers sorted by descending propagation score.
+  std::vector<RankedAnswer> answers;
+  /// Number of minimal plans (1 iff the query is safe given the knowledge).
+  size_t num_minimal_plans = 0;
+  /// Plan-DAG nodes actually evaluated (shows Opt. 2 sharing).
+  size_t nodes_evaluated = 0;
+  /// Whether the compiled plan came from the engine's cache.
+  bool from_plan_cache = false;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<const Database> db,
+                       EngineOptions opts = {});
+
+  /// Non-owning engine over a caller-kept database (examples, benches,
+  /// tests). The database must outlive the engine.
+  static QueryEngine Borrow(const Database& db, EngineOptions opts = {});
+
+  const Database& db() const { return *db_; }
+  const EngineOptions& options() const { return opts_; }
+
+  /// Parses and runs a datalog query. `overrides` rebinds atoms to filtered
+  /// tables (per-query selections); pointers must stay alive for the call.
+  Result<QueryResult> Run(
+      std::string_view query_text,
+      const std::unordered_map<int, const Table*>& overrides = {});
+
+  /// Runs an already-parsed query.
+  Result<QueryResult> Run(
+      const ConjunctiveQuery& q,
+      const std::unordered_map<int, const Table*>& overrides = {});
+
+  /// Boolean-query convenience: the propagation score as a single number
+  /// (0 when no satisfying assignment exists).
+  Result<double> RunBoolean(std::string_view query_text);
+
+  EngineStats stats() const;
+
+ private:
+  /// A compiled query: either the single min-plan (Opt. 1) or the list of
+  /// minimal plans evaluated separately.
+  struct CompiledQuery {
+    PlanPtr single_plan;          // non-null iff opt1_single_plan
+    std::vector<PlanPtr> plans;   // used when opt1 is off
+    size_t num_minimal_plans = 0;
+  };
+
+  Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
+      const ConjunctiveQuery& q, bool* cache_hit);
+
+  std::shared_ptr<const Database> db_;
+  EngineOptions opts_;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledQuery>>
+      plan_cache_;
+  std::vector<std::string> cache_order_;  // insertion order (FIFO eviction)
+  std::atomic<size_t> queries_{0};
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> cache_misses_{0};
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_ENGINE_QUERY_ENGINE_H_

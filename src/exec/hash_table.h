@@ -1,0 +1,65 @@
+// Flat open-addressing hash index for the vectorized operators.
+//
+// One allocation, power-of-two capacity, linear probing. A slot stores a
+// 64-bit key hash and the head of a chain of entries (rows or groups) that
+// share that hash; callers keep the chain links in their own `next` array
+// and compare actual key columns when walking a chain, so hash collisions
+// between distinct keys are handled by the caller's comparison, never by
+// the table. Sized once up front (entry count is known for build sides and
+// bounded for groupings), so there is no rehashing on the hot path.
+#ifndef DISSODB_EXEC_HASH_TABLE_H_
+#define DISSODB_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dissodb {
+
+class FlatHashIndex {
+ public:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Prepares the table for up to `n` distinct hash values (load factor
+  /// <= 0.5, minimum capacity 16).
+  explicit FlatHashIndex(size_t n) {
+    size_t cap = 16;
+    while (cap < 2 * n) cap <<= 1;
+    mask_ = cap - 1;
+    hashes_.assign(cap, 0);
+    heads_.assign(cap, kNil);
+  }
+
+  /// Returns a mutable reference to the chain head for hash `h`, claiming
+  /// an empty slot if the hash is new (the returned head is then kNil and
+  /// the caller must link at least one entry into it).
+  uint32_t& HeadFor(uint64_t h) {
+    size_t i = h & mask_;
+    while (true) {
+      if (heads_[i] == kNil) {
+        hashes_[i] = h;
+        return heads_[i];
+      }
+      if (hashes_[i] == h) return heads_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Chain head for hash `h`, or kNil if absent. Read-only probe.
+  uint32_t Find(uint64_t h) const {
+    size_t i = h & mask_;
+    while (heads_[i] != kNil) {
+      if (hashes_[i] == h) return heads_[i];
+      i = (i + 1) & mask_;
+    }
+    return kNil;
+  }
+
+ private:
+  size_t mask_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> heads_;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_EXEC_HASH_TABLE_H_

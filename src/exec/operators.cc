@@ -2,11 +2,51 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <numeric>
 
 #include "src/common/hash.h"
+#include "src/exec/hash_table.h"
 
 namespace dissodb {
+
+AtomBinding BindAtom(const Atom& atom) {
+  AtomBinding b;
+  for (int p = 0; p < atom.arity(); ++p) {
+    const Term& t = atom.terms[p];
+    if (!t.is_var) {
+      b.checks.push_back(AtomEqCheck{p, -1, t.constant});
+      continue;
+    }
+    if (t.var >= static_cast<int>(b.first_pos_of_var.size())) {
+      b.first_pos_of_var.resize(t.var + 1, -1);
+    }
+    if (b.first_pos_of_var[t.var] < 0) {
+      b.first_pos_of_var[t.var] = p;
+    } else {
+      b.checks.push_back(AtomEqCheck{p, b.first_pos_of_var[t.var], Value()});
+    }
+  }
+  return b;
+}
+
+void ApplyAtomCheck(const Table& t, const AtomEqCheck& check,
+                    std::vector<uint32_t>* sel) {
+  const Column& lhs = *t.col(check.pos);
+  size_t w = 0;
+  if (check.other_pos >= 0) {
+    const Column& rhs = *t.col(check.other_pos);
+    for (uint32_t r : *sel) {
+      if (lhs.ElemEquals(r, rhs, r)) (*sel)[w++] = r;
+    }
+  } else {
+    const uint64_t bits = check.constant.RawBits();
+    const ValueType type = check.constant.type();
+    for (uint32_t r : *sel) {
+      if (lhs.RawBits(r) == bits && lhs.TypeAt(r) == type) (*sel)[w++] = r;
+    }
+  }
+  sel->resize(w);
+}
 
 Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                      int atom_idx, const Table* table) {
@@ -23,47 +63,42 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
   // First column position of each distinct variable, plus equality checks
   // for repeated variables and constants.
   std::vector<VarId> vars = MaskToVars(q.AtomMask(atom_idx));
+  AtomBinding binding = BindAtom(atom);
   std::vector<int> first_pos(vars.size(), -1);
-  struct EqCheck {
-    int pos;
-    int other_pos;  // -1 when comparing against a constant
-    Value constant;
-  };
-  std::vector<EqCheck> checks;
-  for (int p = 0; p < atom.arity(); ++p) {
-    const Term& t = atom.terms[p];
-    if (!t.is_var) {
-      checks.push_back(EqCheck{p, -1, t.constant});
-      continue;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    first_pos[i] = binding.first_pos_of_var[vars[i]];
+  }
+  const std::vector<AtomEqCheck>& checks = binding.checks;
+
+  const size_t n = table->NumRows();
+  if (checks.empty()) {
+    // Unfiltered scan: reference the table's columns and probabilities
+    // zero-copy (the dominant case — most atoms have no selections).
+    std::vector<ColumnPtr> cols;
+    cols.reserve(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) {
+      cols.push_back(table->col(first_pos[i]));
     }
-    int vi = static_cast<int>(
-        std::lower_bound(vars.begin(), vars.end(), t.var) - vars.begin());
-    if (first_pos[vi] < 0) {
-      first_pos[vi] = p;
-    } else {
-      checks.push_back(EqCheck{p, first_pos[vi], Value()});
-    }
+    return Rel::FromColumns(std::move(vars), std::move(cols),
+                            table->weights(), n);
   }
 
-  Rel out(vars);
-  out.Reserve(table->NumRows());
-  std::vector<Value> row(vars.size());
-  for (size_t r = 0; r < table->NumRows(); ++r) {
-    auto src = table->Row(r);
-    bool pass = true;
-    for (const auto& c : checks) {
-      const Value& lhs = src[c.pos];
-      const Value rhs = c.other_pos >= 0 ? src[c.other_pos] : c.constant;
-      if (lhs != rhs) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    for (size_t i = 0; i < vars.size(); ++i) row[i] = src[first_pos[i]];
-    out.AddRow(row, table->Prob(r));
+  std::vector<uint32_t> sel(n);
+  std::iota(sel.begin(), sel.end(), 0u);
+  for (const auto& c : checks) ApplyAtomCheck(*table, c, &sel);
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    auto col = std::make_shared<Column>();
+    col->AppendGather(*table->col(first_pos[i]), sel);
+    cols.push_back(std::move(col));
   }
-  return out;
+  auto scores = std::make_shared<std::vector<double>>();
+  scores->reserve(sel.size());
+  for (uint32_t r : sel) scores->push_back(table->Prob(r));
+  return Rel::FromColumns(std::move(vars), std::move(cols), std::move(scores),
+                          sel.size());
 }
 
 Rel HashJoin(const Rel& left, const Rel& right) {
@@ -77,52 +112,63 @@ Rel HashJoin(const Rel& left, const Rel& right) {
     probe_key.push_back(probe.ColIndex(v));
   }
 
-  std::vector<VarId> out_vars = MaskToVars(build.var_mask() | probe.var_mask());
-  Rel out(out_vars);
+  // Build: one flat table over the batch-hashed build keys; duplicate keys
+  // chain through `next`.
+  const size_t bn = build.NumRows();
+  std::vector<uint64_t> bh = HashKeyColumns(build, build_key);
+  FlatHashIndex index(bn);
+  std::vector<uint32_t> next(bn);
+  for (size_t r = 0; r < bn; ++r) {
+    uint32_t& head = index.HeadFor(bh[r]);
+    next[r] = head;
+    head = static_cast<uint32_t>(r);
+  }
 
-  // Output assembly: for each output column, where to read it from.
-  struct Src {
-    bool from_build;
-    int col;
-  };
-  std::vector<Src> src;
-  src.reserve(out_vars.size());
+  // Probe: batch-hash, then emit matching (build, probe) row pairs.
+  std::vector<uint64_t> ph = HashKeyColumns(probe, probe_key);
+  std::vector<uint32_t> build_sel, probe_sel;
+  build_sel.reserve(probe.NumRows());
+  probe_sel.reserve(probe.NumRows());
+  for (size_t pr = 0; pr < probe.NumRows(); ++pr) {
+    for (uint32_t br = index.Find(ph[pr]); br != FlatHashIndex::kNil;
+         br = next[br]) {
+      if (!KeysEqual(build, br, build_key, probe, pr, probe_key)) continue;
+      build_sel.push_back(br);
+      probe_sel.push_back(static_cast<uint32_t>(pr));
+    }
+  }
+
+  // Assemble output columns by gathering from the source side.
+  std::vector<VarId> out_vars = MaskToVars(build.var_mask() | probe.var_mask());
+  std::vector<ColumnPtr> cols;
+  cols.reserve(out_vars.size());
   for (VarId v : out_vars) {
+    auto col = std::make_shared<Column>();
     int bc = build.ColIndex(v);
     if (bc >= 0) {
-      src.push_back(Src{true, bc});
+      col->AppendGather(*build.col(bc), build_sel);
     } else {
-      src.push_back(Src{false, probe.ColIndex(v)});
+      col->AppendGather(*probe.col(probe.ColIndex(v)), probe_sel);
     }
+    cols.push_back(std::move(col));
   }
-
-  std::unordered_map<size_t, std::vector<uint32_t>> ht;
-  ht.reserve(build.NumRows() * 2);
-  for (size_t r = 0; r < build.NumRows(); ++r) {
-    ht[HashRowKey(build.Row(r), build_key)].push_back(
-        static_cast<uint32_t>(r));
+  auto scores = std::make_shared<std::vector<double>>();
+  scores->reserve(build_sel.size());
+  const auto& bw = *build.weights();
+  const auto& pw = *probe.weights();
+  for (size_t i = 0; i < build_sel.size(); ++i) {
+    scores->push_back(bw[build_sel[i]] * pw[probe_sel[i]]);
   }
-
-  std::vector<Value> row(out_vars.size());
-  for (size_t pr = 0; pr < probe.NumRows(); ++pr) {
-    auto p_row = probe.Row(pr);
-    auto it = ht.find(HashRowKey(p_row, probe_key));
-    if (it == ht.end()) continue;
-    for (uint32_t br : it->second) {
-      auto b_row = build.Row(br);
-      if (!RowKeyEquals(b_row, build_key, p_row, probe_key)) continue;
-      for (size_t i = 0; i < src.size(); ++i) {
-        row[i] = src[i].from_build ? b_row[src[i].col] : p_row[src[i].col];
-      }
-      out.AddRow(row, build.Score(br) * probe.Score(pr));
-    }
-  }
-  return out;
+  return Rel::FromColumns(std::move(out_vars), std::move(cols),
+                          std::move(scores), build_sel.size());
 }
 
 namespace {
 
-/// Shared grouping loop for both projection flavors.
+/// Shared grouping loop for both projection flavors: batch-hash the key
+/// columns, assign each input row to a group via the flat index (groups
+/// with equal hashes chain; real key comparison on the input columns), and
+/// fold scores per group.
 template <typename Init, typename Update>
 Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
   assert((keep_mask & ~in.var_mask()) == 0);
@@ -131,46 +177,48 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
   key_pos.reserve(keep_vars.size());
   for (VarId v : keep_vars) key_pos.push_back(in.ColIndex(v));
 
-  Rel out(keep_vars);
-  // Group index: hash -> list of output row indices (for collision checks we
-  // compare against the already-emitted output row).
-  std::unordered_map<size_t, std::vector<uint32_t>> groups;
-  std::vector<double> acc;  // accumulator per output row
-  std::vector<int> out_identity(keep_vars.size());
-  for (size_t i = 0; i < keep_vars.size(); ++i) {
-    out_identity[i] = static_cast<int>(i);
-  }
-  std::vector<Value> key(keep_vars.size());
-  for (size_t r = 0; r < in.NumRows(); ++r) {
-    auto row = in.Row(r);
-    size_t h = HashRowKey(row, key_pos);
-    auto& bucket = groups[h];
-    int found = -1;
-    for (uint32_t out_r : bucket) {
-      if (RowKeyEquals(out.Row(out_r), out_identity, row, key_pos)) {
-        found = static_cast<int>(out_r);
-        break;
-      }
+  const size_t n = in.NumRows();
+  std::vector<uint64_t> h = HashKeyColumns(in, key_pos);
+  FlatHashIndex index(n);
+  std::vector<uint32_t> group_rep;   // representative input row per group
+  std::vector<uint32_t> group_next;  // chain of groups sharing a hash
+  std::vector<double> acc;           // folded score per group
+  const auto& w = *in.weights();
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t& head = index.HeadFor(h[r]);
+    uint32_t g = head;
+    while (g != FlatHashIndex::kNil &&
+           !KeysEqual(in, r, key_pos, in, group_rep[g], key_pos)) {
+      g = group_next[g];
     }
-    if (found < 0) {
-      for (size_t i = 0; i < key_pos.size(); ++i) key[i] = row[key_pos[i]];
-      out.AddRow(key, 0.0);
-      found = static_cast<int>(out.NumRows()) - 1;
-      bucket.push_back(static_cast<uint32_t>(found));
-      acc.push_back(init(in.Score(r)));
+    if (g == FlatHashIndex::kNil) {
+      g = static_cast<uint32_t>(group_rep.size());
+      group_rep.push_back(static_cast<uint32_t>(r));
+      group_next.push_back(head);
+      head = g;
+      acc.push_back(init(w[r]));
     } else {
-      acc[found] = update(acc[found], in.Score(r));
+      acc[g] = update(acc[g], w[r]);
     }
   }
-  for (size_t r = 0; r < out.NumRows(); ++r) out.SetScore(r, acc[r]);
-  return out;
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(keep_vars.size());
+  for (int c : key_pos) {
+    auto col = std::make_shared<Column>();
+    col->AppendGather(*in.col(c), group_rep);
+    cols.push_back(std::move(col));
+  }
+  auto scores = std::make_shared<std::vector<double>>(std::move(acc));
+  return Rel::FromColumns(std::move(keep_vars), std::move(cols),
+                          std::move(scores), group_rep.size());
 }
 
 }  // namespace
 
 Rel ProjectIndependent(const Rel& in, VarMask keep_mask) {
   // Accumulate the complement product: acc = prod(1 - s_i); final score is
-  // 1 - acc, computed at the end by rewriting accumulators.
+  // 1 - acc, rewritten in one pass at the end.
   Rel out = ProjectImpl(
       in, keep_mask, [](double s) { return 1.0 - s; },
       [](double acc, double s) { return acc * (1.0 - s); });
@@ -194,38 +242,83 @@ Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
       return Status::InvalidArgument("MinMerge inputs differ in variables");
     }
   }
-  if (inputs.size() == 1) return inputs[0];
+  if (inputs.size() == 1) return inputs[0];  // shallow copy: shares columns
 
   const int arity = inputs[0].arity();
   std::vector<int> identity(arity);
-  for (int i = 0; i < arity; ++i) identity[i] = i;
+  std::iota(identity.begin(), identity.end(), 0);
 
-  Rel out(inputs[0].vars());
-  std::unordered_map<size_t, std::vector<uint32_t>> index;
+  size_t total = 0;
+  for (const auto& in : inputs) total += in.NumRows();
+
+  // Groups across all inputs; a representative is an (input, row) pair.
+  FlatHashIndex index(total);
+  std::vector<uint32_t> group_input, group_row, group_next;
   std::vector<double> best;
-  for (const auto& in : inputs) {
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    const Rel& in = inputs[k];
+    std::vector<uint64_t> h = HashKeyColumns(in, identity);
+    const auto& w = *in.weights();
     for (size_t r = 0; r < in.NumRows(); ++r) {
-      auto row = in.Row(r);
-      size_t h = HashRowKey(row, identity);
-      auto& bucket = index[h];
-      int found = -1;
-      for (uint32_t out_r : bucket) {
-        if (RowKeyEquals(out.Row(out_r), identity, row, identity)) {
-          found = static_cast<int>(out_r);
-          break;
-        }
+      uint32_t& head = index.HeadFor(h[r]);
+      uint32_t g = head;
+      while (g != FlatHashIndex::kNil &&
+             !KeysEqual(in, r, identity, inputs[group_input[g]], group_row[g],
+                        identity)) {
+        g = group_next[g];
       }
-      if (found < 0) {
-        out.AddRow(row, 0.0);
-        bucket.push_back(static_cast<uint32_t>(out.NumRows()) - 1);
-        best.push_back(in.Score(r));
+      if (g == FlatHashIndex::kNil) {
+        g = static_cast<uint32_t>(group_row.size());
+        group_input.push_back(static_cast<uint32_t>(k));
+        group_row.push_back(static_cast<uint32_t>(r));
+        group_next.push_back(head);
+        head = g;
+        best.push_back(w[r]);
       } else {
-        best[found] = std::min(best[found], in.Score(r));
+        best[g] = std::min(best[g], w[r]);
       }
     }
   }
-  for (size_t r = 0; r < out.NumRows(); ++r) out.SetScore(r, best[r]);
-  return out;
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(arity);
+  for (int c = 0; c < arity; ++c) {
+    // Fast path when every input stores column c uniformly with one type:
+    // copy raw 64-bit payloads without per-cell Value construction.
+    bool uniform = true;
+    bool have_type = false;
+    ValueType type = ValueType::kInt64;
+    for (const auto& in : inputs) {
+      const Column& cc = *in.col(c);
+      if (!cc.uniform()) {
+        uniform = false;
+        break;
+      }
+      if (cc.size() == 0) continue;
+      if (!have_type) {
+        type = cc.type();
+        have_type = true;
+      } else if (cc.type() != type) {
+        uniform = false;
+        break;
+      }
+    }
+    auto col = std::make_shared<Column>(type);
+    col->Reserve(group_row.size());
+    if (uniform) {
+      for (size_t g = 0; g < group_row.size(); ++g) {
+        col->AppendRaw(inputs[group_input[g]].col(c)->RawBits(group_row[g]));
+      }
+    } else {
+      for (size_t g = 0; g < group_row.size(); ++g) {
+        col->Append(inputs[group_input[g]].At(group_row[g], c));
+      }
+    }
+    cols.push_back(std::move(col));
+  }
+  auto scores = std::make_shared<std::vector<double>>(std::move(best));
+  return Rel::FromColumns(inputs[0].vars(), std::move(cols), std::move(scores),
+                          group_row.size());
 }
 
 }  // namespace dissodb

@@ -13,6 +13,28 @@
 
 namespace dissodb {
 
+/// One equality constraint an atom imposes on its table: column `pos` must
+/// equal column `other_pos` (repeated variable) or `constant` (other_pos -1).
+struct AtomEqCheck {
+  int pos;
+  int other_pos;
+  Value constant;
+};
+
+/// How an atom binds to its table: the first table column of each variable
+/// (indexed by VarId; -1 when the variable does not occur) plus the equality
+/// checks a scan or reduction must apply. Shared by ScanAtom and the
+/// semi-join reducer so selection semantics cannot diverge.
+struct AtomBinding {
+  std::vector<int> first_pos_of_var;
+  std::vector<AtomEqCheck> checks;
+};
+AtomBinding BindAtom(const Atom& atom);
+
+/// In-place filters `sel` down to the rows of `t` satisfying `check`.
+void ApplyAtomCheck(const Table& t, const AtomEqCheck& check,
+                    std::vector<uint32_t>* sel);
+
 /// Scans the table bound to atom `atom_idx`, applying constant selections
 /// and repeated-variable equalities, and emitting the atom's distinct
 /// variables as columns. `table` overrides the catalog binding (used for

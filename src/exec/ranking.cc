@@ -11,8 +11,9 @@ std::vector<RankedAnswer> RankAnswers(const Rel& rel) {
   std::vector<RankedAnswer> out;
   out.reserve(rel.NumRows());
   for (size_t r = 0; r < rel.NumRows(); ++r) {
-    auto row = rel.Row(r);
-    out.push_back(RankedAnswer{{row.begin(), row.end()}, rel.Score(r)});
+    std::vector<Value> tuple(rel.arity());
+    for (int c = 0; c < rel.arity(); ++c) tuple[c] = rel.At(r, c);
+    out.push_back(RankedAnswer{std::move(tuple), rel.Score(r)});
   }
   std::sort(out.begin(), out.end(),
             [](const RankedAnswer& a, const RankedAnswer& b) {

@@ -11,16 +11,17 @@ namespace dissodb {
 Rel::Rel(std::vector<VarId> vars) : vars_(std::move(vars)) {
   assert(std::is_sorted(vars_.begin(), vars_.end()));
   for (VarId v : vars_) mask_ |= MaskOf(v);
+  InitCols(static_cast<int>(vars_.size()));
 }
 
-void Rel::AddRow(std::span<const Value> row, double score) {
-  assert(static_cast<int>(row.size()) == arity());
-  if (arity() == 0) {
-    ++zero_arity_rows_;
-  } else {
-    data_.insert(data_.end(), row.begin(), row.end());
-  }
-  scores_.push_back(score);
+Rel Rel::FromColumns(std::vector<VarId> vars, std::vector<ColumnPtr> cols,
+                     std::shared_ptr<std::vector<double>> scores,
+                     size_t rows) {
+  Rel out(std::move(vars));
+  assert(cols.size() == out.vars_.size());
+  assert(scores && scores->size() == rows);
+  out.AdoptImpl(std::move(cols), std::move(scores), rows);
+  return out;
 }
 
 int Rel::ColIndex(VarId v) const {
@@ -44,21 +45,6 @@ std::string Rel::ToString(const ConjunctiveQuery& q, size_t max_rows) const {
   }
   if (NumRows() > max_rows) out += "  ...\n";
   return out;
-}
-
-size_t HashRowKey(std::span<const Value> row, std::span<const int> positions) {
-  size_t h = 0x2545f491;
-  for (int p : positions) HashCombine(&h, row[p].Hash());
-  return h;
-}
-
-bool RowKeyEquals(std::span<const Value> a, std::span<const int> pa,
-                  std::span<const Value> b, std::span<const int> pb) {
-  assert(pa.size() == pb.size());
-  for (size_t i = 0; i < pa.size(); ++i) {
-    if (a[pa[i]] != b[pb[i]]) return false;
-  }
-  return true;
 }
 
 }  // namespace dissodb

@@ -3,42 +3,45 @@
 #ifndef DISSODB_EXEC_REL_H_
 #define DISSODB_EXEC_REL_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/common/value.h"
 #include "src/query/cq.h"
+#include "src/storage/columnar.h"
 
 namespace dissodb {
 
 /// \brief Columns are query variables in ascending VarId order (canonical),
 /// so relations over the same variable set align positionally.
-class Rel {
+///
+/// Storage is columnar (one shared typed column per variable plus a score
+/// column, see ColumnarRows); scans and pass-through operators share input
+/// columns zero-copy, and copies are shallow.
+class Rel : public ColumnarRows {
  public:
   explicit Rel(std::vector<VarId> vars);
 
   static Rel ForMask(VarMask mask) { return Rel(MaskToVars(mask)); }
 
+  /// Zero-copy constructor: adopts existing columns (one per var, ascending
+  /// var order) and a score column without copying payloads.
+  static Rel FromColumns(std::vector<VarId> vars, std::vector<ColumnPtr> cols,
+                         std::shared_ptr<std::vector<double>> scores,
+                         size_t rows);
+
   const std::vector<VarId>& vars() const { return vars_; }
   VarMask var_mask() const { return mask_; }
   int arity() const { return static_cast<int>(vars_.size()); }
-  size_t NumRows() const {
-    return arity() == 0 ? zero_arity_rows_ : data_.size() / arity();
+
+  void AddRow(std::span<const Value> row, double score) {
+    AppendRowImpl(row, score);
   }
 
-  void Reserve(size_t rows) {
-    data_.reserve(rows * arity());
-    scores_.reserve(rows);
-  }
-  void AddRow(std::span<const Value> row, double score);
-
-  std::span<const Value> Row(size_t r) const {
-    return {data_.data() + r * arity(), static_cast<size_t>(arity())};
-  }
-  Value At(size_t r, int c) const { return data_[r * arity() + c]; }
-  double Score(size_t r) const { return scores_[r]; }
-  void SetScore(size_t r, double s) { scores_[r] = s; }
+  double Score(size_t r) const { return Weight(r); }
+  void SetScore(size_t r, double s) { (*MutableWeights())[r] = s; }
 
   /// Column position of variable `v`, or -1.
   int ColIndex(VarId v) const;
@@ -48,17 +51,7 @@ class Rel {
  private:
   std::vector<VarId> vars_;  // ascending
   VarMask mask_ = 0;
-  std::vector<Value> data_;
-  std::vector<double> scores_;
-  size_t zero_arity_rows_ = 0;
 };
-
-/// Hashes the values of `row` at `positions`.
-size_t HashRowKey(std::span<const Value> row, std::span<const int> positions);
-
-/// True iff the two rows agree on their respective key positions.
-bool RowKeyEquals(std::span<const Value> a, std::span<const int> pa,
-                  std::span<const Value> b, std::span<const int> pb);
 
 }  // namespace dissodb
 

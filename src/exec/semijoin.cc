@@ -1,8 +1,9 @@
 #include "src/exec/semijoin.h"
 
-#include <unordered_set>
+#include <numeric>
 
 #include "src/common/hash.h"
+#include "src/exec/hash_table.h"
 #include "src/exec/operators.h"
 #include "src/exec/rel.h"
 
@@ -25,6 +26,19 @@ std::vector<int> VarPositions(const ConjunctiveQuery& q, int atom_idx,
     }
   }
   return pos;
+}
+
+/// Applies the atom's constant selections and repeated-variable equalities
+/// column-at-a-time (same BindAtom/ApplyAtomCheck semantics as ScanAtom);
+/// atoms without such constraints share the source columns zero-copy.
+Table FilterAtomTable(const Table& src, const Atom& a) {
+  AtomBinding binding = BindAtom(a);
+  if (binding.checks.empty()) return src;  // shallow copy: columns shared
+
+  std::vector<uint32_t> sel(src.NumRows());
+  std::iota(sel.begin(), sel.end(), 0u);
+  for (const auto& c : binding.checks) ApplyAtomCheck(src, c, &sel);
+  return src.Select(sel);
 }
 
 }  // namespace
@@ -52,27 +66,14 @@ Result<std::vector<Table>> SemiJoinReduce(
     }
     // Start from the constant/repeated-variable filtered table so that
     // selections also prune join partners.
-    const Atom& a = q.atom(i);
-    tables.push_back(src->Filter([&](std::span<const Value> row) {
-      std::unordered_map<VarId, Value> bound;
-      for (int p = 0; p < a.arity(); ++p) {
-        const Term& t = a.terms[p];
-        if (!t.is_var) {
-          if (row[p] != t.constant) return false;
-        } else {
-          auto [bit, inserted] = bound.try_emplace(t.var, row[p]);
-          if (!inserted && bit->second != row[p]) return false;
-        }
-      }
-      return true;
-    }));
+    tables.push_back(FilterAtomTable(*src, q.atom(i)));
     if (stats) stats->rows_before.push_back(tables.back().NumRows());
   }
 
   // Shared-variable pairs.
   struct Pair {
     int a, b;
-    std::vector<VarId> shared;
+    std::vector<int> pos_a, pos_b;
   };
   std::vector<Pair> pairs;
   for (int i = 0; i < m; ++i) {
@@ -81,7 +82,10 @@ Result<std::vector<Table>> SemiJoinReduce(
       // Head variables participate in joins too (per-answer grouping), so
       // reduce on every shared variable.
       VarMask shared = q.AtomMask(i) & q.AtomMask(j);
-      if (shared) pairs.push_back(Pair{i, j, MaskToVars(shared)});
+      if (!shared) continue;
+      std::vector<VarId> vars = MaskToVars(shared);
+      pairs.push_back(Pair{i, j, VarPositions(q, i, vars),
+                           VarPositions(q, j, vars)});
     }
   }
 
@@ -91,19 +95,35 @@ Result<std::vector<Table>> SemiJoinReduce(
     changed = false;
     ++pass;
     for (const auto& pr : pairs) {
-      std::vector<int> pos_a = VarPositions(q, pr.a, pr.shared);
-      std::vector<int> pos_b = VarPositions(q, pr.b, pr.shared);
-      // Key set from table b.
-      std::unordered_set<size_t> keys;
-      keys.reserve(tables[pr.b].NumRows() * 2);
-      for (size_t r = 0; r < tables[pr.b].NumRows(); ++r) {
-        keys.insert(HashRowKey(tables[pr.b].Row(r), pos_b));
+      const Table& ta = tables[pr.a];
+      const Table& tb = tables[pr.b];
+      // Index b's key values (batch hash + chain; real key comparison on
+      // probe avoids hash-collision survivors).
+      const size_t bn = tb.NumRows();
+      std::vector<uint64_t> bh = HashKeyColumns(tb, pr.pos_b);
+      FlatHashIndex index(bn);
+      std::vector<uint32_t> next(bn);
+      for (size_t r = 0; r < bn; ++r) {
+        uint32_t& head = index.HeadFor(bh[r]);
+        next[r] = head;
+        head = static_cast<uint32_t>(r);
       }
-      size_t before = tables[pr.a].NumRows();
-      tables[pr.a] = tables[pr.a].Filter([&](std::span<const Value> row) {
-        return keys.count(HashRowKey(row, pos_a)) > 0;
-      });
-      if (tables[pr.a].NumRows() != before) changed = true;
+      std::vector<uint64_t> ah = HashKeyColumns(ta, pr.pos_a);
+      std::vector<uint32_t> sel;
+      sel.reserve(ta.NumRows());
+      for (size_t r = 0; r < ta.NumRows(); ++r) {
+        for (uint32_t br = index.Find(ah[r]); br != FlatHashIndex::kNil;
+             br = next[br]) {
+          if (KeysEqual(ta, r, pr.pos_a, tb, br, pr.pos_b)) {
+            sel.push_back(static_cast<uint32_t>(r));
+            break;
+          }
+        }
+      }
+      if (sel.size() != ta.NumRows()) {
+        tables[pr.a] = ta.Select(sel);
+        changed = true;
+      }
     }
   }
   if (stats) {

@@ -102,11 +102,10 @@ Result<LineageResult> ComputeLineage(
       }
     }
     for (size_t r = 0; r < table->NumRows(); ++r) {
-      auto row = table->Row(r);
       bool ok = true;
       for (const auto& c : checks) {
-        const Value rhs = c.other >= 0 ? row[c.other] : c.constant;
-        if (row[c.pos] != rhs) {
+        const Value rhs = c.other >= 0 ? table->At(r, c.other) : c.constant;
+        if (table->At(r, c.pos) != rhs) {
           ok = false;
           break;
         }
@@ -169,9 +168,10 @@ Result<LineageResult> ComputeLineage(
     std::unordered_map<size_t, std::vector<uint32_t>> ht;
     ht.reserve(ad.rows.size() * 2);
     for (size_t k = 0; k < ad.rows.size(); ++k) {
-      auto row = ad.table->Row(ad.rows[k]);
       size_t h = 0x8f1bbc;
-      for (int c : shared_cols) HashCombine(&h, row[c].Hash());
+      for (int c : shared_cols) {
+        HashCombine(&h, ad.table->At(ad.rows[k], c).Hash());
+      }
       ht[h].push_back(static_cast<uint32_t>(k));
     }
     std::vector<Partial> next;
@@ -181,10 +181,10 @@ Result<LineageResult> ComputeLineage(
       auto it = ht.find(h);
       if (it == ht.end()) continue;
       for (uint32_t k : it->second) {
-        auto row = ad.table->Row(ad.rows[k]);
+        const uint32_t src_row = ad.rows[k];
         bool match = true;
         for (size_t s = 0; s < shared.size(); ++s) {
-          if (p.values[shared[s]] != row[shared_cols[s]]) {
+          if (p.values[shared[s]] != ad.table->At(src_row, shared_cols[s])) {
             match = false;
             break;
           }
@@ -192,7 +192,7 @@ Result<LineageResult> ComputeLineage(
         if (!match) continue;
         Partial np = p;
         for (size_t vi = 0; vi < ad.vars.size(); ++vi) {
-          np.values[ad.vars[vi]] = row[ad.first_pos[vi]];
+          np.values[ad.vars[vi]] = ad.table->At(src_row, ad.first_pos[vi]);
         }
         np.ids[ai] = ad.id_offset + static_cast<int>(k);
         next.push_back(std::move(np));

@@ -1,6 +1,9 @@
 #include "src/query/parser.h"
 
 #include <cctype>
+#include <functional>
+#include <memory>
+#include <unordered_map>
 #include <string>
 
 namespace dissodb {
@@ -87,9 +90,10 @@ bool IsVariableName(const std::string& ident) {
   return !ident.empty() && std::islower(static_cast<unsigned char>(ident[0]));
 }
 
-}  // namespace
+using StringInterner = std::function<Result<int64_t>(const std::string&)>;
 
-Result<ConjunctiveQuery> ParseQuery(std::string_view text, StringPool* pool) {
+Result<ConjunctiveQuery> ParseQueryImpl(std::string_view text,
+                                        const StringInterner& intern) {
   Cursor c(text);
   ConjunctiveQuery q;
 
@@ -135,12 +139,9 @@ Result<ConjunctiveQuery> ParseQuery(std::string_view text, StringPool* pool) {
         if (p == '\'') {
           auto s = c.QuotedString();
           if (!s.ok()) return s.status();
-          if (pool == nullptr) {
-            return Status::InvalidArgument(
-                "string constant requires a StringPool");
-          }
-          atom.terms.push_back(
-              Term::Const(Value::StringCode(pool->Intern(*s))));
+          auto code = intern(*s);
+          if (!code.ok()) return code.status();
+          atom.terms.push_back(Term::Const(Value::StringCode(*code)));
         } else if (std::isdigit(static_cast<unsigned char>(p)) || p == '-' ||
                    p == '+') {
           bool is_double = false;
@@ -186,6 +187,32 @@ Result<ConjunctiveQuery> ParseQuery(std::string_view text, StringPool* pool) {
     }
   }
   return q;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text, StringPool* pool) {
+  return ParseQueryImpl(text, [pool](const std::string& s) -> Result<int64_t> {
+    if (pool == nullptr) {
+      return Status::InvalidArgument("string constant requires a StringPool");
+    }
+    return pool->Intern(s);
+  });
+}
+
+Result<ConjunctiveQuery> ParseQueryReadOnly(std::string_view text,
+                                            const StringPool& pool) {
+  // Unknown strings get distinct negative codes: they equal nothing in the
+  // database (real codes are >= 0) and stay distinct from each other.
+  auto unknown = std::make_shared<std::unordered_map<std::string, int64_t>>();
+  return ParseQueryImpl(
+      text, [&pool, unknown](const std::string& s) -> Result<int64_t> {
+        int64_t code = pool.Find(s);
+        if (code >= 0) return code;
+        auto [it, inserted] = unknown->try_emplace(
+            s, -2 - static_cast<int64_t>(unknown->size()));
+        return it->second;
+      });
 }
 
 }  // namespace dissodb

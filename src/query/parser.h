@@ -23,6 +23,14 @@ namespace dissodb {
 Result<ConjunctiveQuery> ParseQuery(std::string_view text,
                                     StringPool* pool = nullptr);
 
+/// Read-only parse against an immutable pool (the QueryEngine path: many
+/// threads may parse concurrently over one shared database). String
+/// constants already in `pool` resolve to their codes; unknown strings get
+/// distinct negative codes, which match no stored tuple — the query is
+/// valid and simply selects nothing on that constant.
+Result<ConjunctiveQuery> ParseQueryReadOnly(std::string_view text,
+                                            const StringPool& pool);
+
 }  // namespace dissodb
 
 #endif  // DISSODB_QUERY_PARSER_H_

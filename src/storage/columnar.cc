@@ -1,0 +1,87 @@
+#include "src/storage/columnar.h"
+
+#include <cassert>
+
+namespace dissodb {
+
+void Column::Append(Value v) {
+  if (bits_.empty() && tags_.empty()) {
+    type_ = v.type();
+  } else if (v.type() != type_ && tags_.empty()) {
+    Demote(v.type());
+  }
+  if (!tags_.empty()) tags_.push_back(static_cast<uint8_t>(v.type()));
+  bits_.push_back(v.RawBits());
+}
+
+void Column::Demote(ValueType incoming) {
+  (void)incoming;
+  tags_.assign(bits_.size(), static_cast<uint8_t>(type_));
+}
+
+void Column::AppendGather(const Column& src, std::span<const uint32_t> idx) {
+  if (bits_.empty() && tags_.empty()) type_ = src.type_;
+  bits_.reserve(bits_.size() + idx.size());
+  if (src.tags_.empty() && tags_.empty() && src.type_ == type_) {
+    for (uint32_t k : idx) bits_.push_back(src.bits_[k]);
+    return;
+  }
+  // Mixed-type fallback.
+  for (uint32_t k : idx) Append(src.Get(k));
+}
+
+void Column::HashCombineInto(std::span<uint64_t> out) const {
+  assert(out.size() == bits_.size());
+  if (tags_.empty()) {
+    const uint64_t tag_mix = static_cast<uint64_t>(type_) * 0x100000001b3ULL;
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      size_t h = out[i];
+      HashCombine(&h, Mix64(tag_mix ^ bits_[i]));
+      out[i] = h;
+    }
+  } else {
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      size_t h = out[i];
+      HashCombine(&h, HashAt(i));
+      out[i] = h;
+    }
+  }
+}
+
+void ColumnarRows::AppendRowImpl(std::span<const Value> row, double w) {
+  assert(row.size() == cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) MutableCol(&cols_[c])->Append(row[c]);
+  MutableWeights()->push_back(w);
+  ++num_rows_;
+}
+
+void ColumnarRows::GatherImpl(const ColumnarRows& src,
+                              std::span<const uint32_t> sel) {
+  assert(src.NumCols() == NumCols());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    MutableCol(&cols_[c])->AppendGather(*src.cols_[c], sel);
+  }
+  auto* w = MutableWeights();
+  w->reserve(w->size() + sel.size());
+  const auto& sw = *src.weights_;
+  for (uint32_t k : sel) w->push_back(sw[k]);
+  num_rows_ += sel.size();
+}
+
+std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
+                                     std::span<const int> key_cols) {
+  std::vector<uint64_t> out(rows.NumRows(), 0x2545f491ULL);
+  for (int c : key_cols) rows.col(c)->HashCombineInto(out);
+  return out;
+}
+
+bool KeysEqual(const ColumnarRows& a, size_t ra, std::span<const int> ka,
+               const ColumnarRows& b, size_t rb, std::span<const int> kb) {
+  assert(ka.size() == kb.size());
+  for (size_t i = 0; i < ka.size(); ++i) {
+    if (!a.col(ka[i])->ElemEquals(ra, *b.col(kb[i]), rb)) return false;
+  }
+  return true;
+}
+
+}  // namespace dissodb

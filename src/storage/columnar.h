@@ -1,0 +1,160 @@
+// Columnar row storage shared by base tables and intermediate relations.
+//
+// A Column is a typed vector of 64-bit payloads (int64 / double bit pattern /
+// string dictionary code) — the Value tag is stored once per column, not per
+// element, so scans, hashes and key comparisons run over flat uint64 arrays.
+// Columns are held by shared_ptr and shared zero-copy between tables and the
+// relations derived from them (scans, pass-through projections, shallow
+// copies); mutation goes through copy-on-write accessors, so sharing is safe.
+#ifndef DISSODB_STORAGE_COLUMNAR_H_
+#define DISSODB_STORAGE_COLUMNAR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace dissodb {
+
+/// \brief One typed column: a flat array of 64-bit payloads.
+///
+/// Columns are type-uniform in the common case. If values of a different
+/// type are appended (possible only through untyped builder paths), the
+/// column lazily materializes a parallel per-element tag array; all
+/// accessors remain correct, only the flat fast paths degrade.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(ValueType type) : type_(type) {}
+
+  size_t size() const { return bits_.size(); }
+  ValueType type() const { return type_; }
+  bool uniform() const { return tags_.empty(); }
+
+  uint64_t RawBits(size_t i) const { return bits_[i]; }
+  ValueType TypeAt(size_t i) const {
+    return tags_.empty() ? type_ : static_cast<ValueType>(tags_[i]);
+  }
+  Value Get(size_t i) const { return Value::FromRawBits(TypeAt(i), bits_[i]); }
+
+  void Reserve(size_t n) {
+    bits_.reserve(n);
+    if (!tags_.empty()) tags_.reserve(n);
+  }
+  void Append(Value v);
+
+  /// Appends a raw payload of this column's own type. Only valid on a
+  /// type-uniform column (fast bulk-assembly path; no per-cell tagging).
+  void AppendRaw(uint64_t bits) {
+    assert(tags_.empty());
+    bits_.push_back(bits);
+  }
+
+  /// Appends `src[idx[k]]` for every k (output assembly for joins,
+  /// projections and selections — one pass per column).
+  void AppendGather(const Column& src, std::span<const uint32_t> idx);
+
+  /// Element hash, consistent with Value::Hash().
+  uint64_t HashAt(size_t i) const {
+    return Mix64(static_cast<uint64_t>(TypeAt(i)) * 0x100000001b3ULL ^
+                 bits_[i]);
+  }
+
+  /// Combines every element's hash into `out` (HashCombine semantics);
+  /// `out.size()` must equal `size()`. Batch primitive for key hashing.
+  void HashCombineInto(std::span<uint64_t> out) const;
+
+  bool ElemEquals(size_t i, const Column& o, size_t j) const {
+    return bits_[i] == o.bits_[j] && TypeAt(i) == o.TypeAt(j);
+  }
+
+ private:
+  void Demote(ValueType incoming);
+
+  ValueType type_ = ValueType::kInt64;
+  std::vector<uint64_t> bits_;
+  std::vector<uint8_t> tags_;  // empty while type-uniform
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+/// \brief Shared base of Table and Rel: a set of columns plus a parallel
+/// weight column (tuple probability / plan score) and a single row counter.
+///
+/// The explicit row counter makes zero-arity relations (Boolean queries)
+/// fall out of the same accounting as everything else. Copies are shallow:
+/// columns and weights are shared until a mutation triggers copy-on-write.
+class ColumnarRows {
+ public:
+  size_t NumRows() const { return num_rows_; }
+  int NumCols() const { return static_cast<int>(cols_.size()); }
+
+  Value At(size_t r, int c) const { return cols_[c]->Get(r); }
+  double Weight(size_t r) const { return (*weights_)[r]; }
+
+  const ColumnPtr& col(int c) const { return cols_[c]; }
+  const std::shared_ptr<std::vector<double>>& weights() const {
+    return weights_;
+  }
+
+  void Reserve(size_t rows) {
+    for (auto& c : cols_) MutableCol(&c)->Reserve(rows);
+    MutableWeights()->reserve(rows);
+  }
+
+ protected:
+  ColumnarRows() : weights_(std::make_shared<std::vector<double>>()) {}
+
+  /// Installs `n` empty columns (untyped; adopt the first appended value).
+  void InitCols(int n) {
+    cols_.clear();
+    for (int i = 0; i < n; ++i) cols_.push_back(std::make_shared<Column>());
+  }
+
+  void AppendRowImpl(std::span<const Value> row, double w);
+
+  /// Adopts existing columns/weights without copying (zero-copy wiring).
+  void AdoptImpl(std::vector<ColumnPtr> cols,
+                 std::shared_ptr<std::vector<double>> weights, size_t rows) {
+    cols_ = std::move(cols);
+    weights_ = std::move(weights);
+    num_rows_ = rows;
+  }
+
+  /// Appends rows `sel` of `src` (same column layout) to this.
+  void GatherImpl(const ColumnarRows& src, std::span<const uint32_t> sel);
+
+  /// Copy-on-write access.
+  static Column* MutableCol(ColumnPtr* c) {
+    if (c->use_count() > 1) *c = std::make_shared<Column>(**c);
+    return c->get();
+  }
+  Column* MutableCol(int c) { return MutableCol(&cols_[c]); }
+  std::vector<double>* MutableWeights() {
+    if (weights_.use_count() > 1) {
+      weights_ = std::make_shared<std::vector<double>>(*weights_);
+    }
+    return weights_.get();
+  }
+
+  std::vector<ColumnPtr> cols_;
+  std::shared_ptr<std::vector<double>> weights_;
+  size_t num_rows_ = 0;
+};
+
+/// Hash of the key columns `key_cols` for every row of `rows` (batch,
+/// column-at-a-time). Rows with equal key values get equal hashes.
+std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
+                                     std::span<const int> key_cols);
+
+/// True iff row `ra` of `a` (at key columns `ka`) equals row `rb` of `b`
+/// (at key columns `kb`). `ka.size()` must equal `kb.size()`.
+bool KeysEqual(const ColumnarRows& a, size_t ra, std::span<const int> ka,
+               const ColumnarRows& b, size_t rb, std::span<const int> kb);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_COLUMNAR_H_

@@ -9,28 +9,36 @@
 
 namespace dissodb {
 
-void Table::AddRow(std::span<const Value> row, double p) {
-  assert(static_cast<int>(row.size()) == arity());
-  if (arity() == 0) {
-    ++zero_arity_rows_;
-  } else {
-    values_.insert(values_.end(), row.begin(), row.end());
-  }
-  probs_.push_back(schema_.deterministic ? 1.0 : p);
-}
-
 Table Table::Filter(
     const std::function<bool(std::span<const Value>)>& pred) const {
-  Table out(schema_);
+  std::vector<uint32_t> sel;
+  std::vector<Value> scratch(arity());
   for (size_t r = 0; r < NumRows(); ++r) {
-    if (pred(Row(r))) out.AddRow(Row(r), Prob(r));
+    for (int c = 0; c < arity(); ++c) scratch[c] = At(r, c);
+    if (pred(scratch)) sel.push_back(static_cast<uint32_t>(r));
   }
+  return Select(sel);
+}
+
+Table Table::Select(std::span<const uint32_t> sel) const {
+  if (sel.size() == NumRows()) {
+    bool identity = true;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (sel[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) return *this;  // shallow: shares columns
+  }
+  Table out(schema_);
+  out.GatherImpl(*this, sel);
   return out;
 }
 
 void Table::ScaleProbabilities(double f) {
   if (schema_.deterministic) return;
-  for (auto& p : probs_) p = std::clamp(p * f, 0.0, 1.0);
+  for (auto& p : *MutableWeights()) p = std::clamp(p * f, 0.0, 1.0);
 }
 
 bool Table::SatisfiesFD(const FunctionalDependency& fd) const {

@@ -1,4 +1,4 @@
-// Row-oriented in-memory table with per-tuple probabilities.
+// Columnar in-memory table with per-tuple probabilities.
 #ifndef DISSODB_STORAGE_TABLE_H_
 #define DISSODB_STORAGE_TABLE_H_
 
@@ -9,44 +9,53 @@
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/storage/columnar.h"
 #include "src/storage/schema.h"
 
 namespace dissodb {
 
 /// \brief A tuple-independent probabilistic relation.
 ///
-/// Rows are stored flattened (`arity` Values per row) next to a parallel
-/// probability array. Deterministic relations keep probabilities pinned at 1.
-class Table {
+/// Storage is column-major: one typed 64-bit payload array per attribute
+/// plus a parallel probability column (see ColumnarRows). Deterministic
+/// relations keep probabilities pinned at 1. Copies are shallow — columns
+/// are shared with copy-on-write, so passing tables around is cheap and
+/// scans can reference table columns zero-copy.
+class Table : public ColumnarRows {
  public:
-  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {
+    InitCols(schema_.arity());
+    for (int c = 0; c < schema_.arity(); ++c) {
+      *cols_[c] = Column(schema_.column_types[c]);
+    }
+  }
 
   const RelationSchema& schema() const { return schema_; }
   RelationSchema* mutable_schema() { return &schema_; }
 
   int arity() const { return schema_.arity(); }
-  size_t NumRows() const {
-    return arity() == 0 ? zero_arity_rows_ : values_.size() / arity();
-  }
 
   /// Appends a row; `row.size()` must equal arity. Deterministic relations
   /// force p = 1.
-  void AddRow(std::span<const Value> row, double p = 1.0);
+  void AddRow(std::span<const Value> row, double p = 1.0) {
+    AppendRowImpl(row, schema_.deterministic ? 1.0 : p);
+  }
   void AddRow(std::initializer_list<Value> row, double p = 1.0) {
     AddRow(std::span<const Value>(row.begin(), row.size()), p);
   }
 
-  Value At(size_t row, int col) const { return values_[row * arity() + col]; }
-  std::span<const Value> Row(size_t row) const {
-    return {values_.data() + row * arity(), static_cast<size_t>(arity())};
-  }
-  double Prob(size_t row) const { return probs_[row]; }
+  double Prob(size_t row) const { return Weight(row); }
   void SetProb(size_t row, double p) {
-    probs_[row] = schema_.deterministic ? 1.0 : p;
+    (*MutableWeights())[row] = schema_.deterministic ? 1.0 : p;
   }
 
   /// Returns a table with the same schema containing rows where `pred` holds.
+  /// (Row-at-a-time convenience; hot paths use Select on a selection vector.)
   Table Filter(const std::function<bool(std::span<const Value>)>& pred) const;
+
+  /// Returns a table with the same schema containing rows `sel`, gathered
+  /// column-at-a-time. The identity selection shares the columns zero-copy.
+  Table Select(std::span<const uint32_t> sel) const;
 
   /// Multiplies every probability by `f` (clamped to [0,1]); used by the
   /// Proposition 21 / Figure 5n–5p scaling experiments. No-op on
@@ -63,9 +72,6 @@ class Table {
 
  private:
   RelationSchema schema_;
-  std::vector<Value> values_;  // flattened, arity() per row
-  std::vector<double> probs_;
-  size_t zero_arity_rows_ = 0;
 };
 
 }  // namespace dissodb

@@ -1,0 +1,143 @@
+// Columnar storage core: typed columns, zero-copy sharing with
+// copy-on-write, and the unified zero-arity row accounting shared by Table
+// and Rel.
+#include <gtest/gtest.h>
+
+#include "src/exec/operators.h"
+#include "src/exec/rel.h"
+#include "src/storage/columnar.h"
+#include "src/storage/table.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Q;
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c;
+  c.Append(Value::Int64(42));
+  c.Append(Value::Int64(-7));
+  EXPECT_EQ(c.type(), ValueType::kInt64);
+  EXPECT_TRUE(c.uniform());
+  EXPECT_EQ(c.Get(0), Value::Int64(42));
+  EXPECT_EQ(c.Get(1), Value::Int64(-7));
+}
+
+TEST(ColumnTest, DoubleRoundTripsThroughRawBits) {
+  Column c;
+  c.Append(Value::Double(0.25));
+  c.Append(Value::Double(-1.5e300));
+  EXPECT_EQ(c.Get(0), Value::Double(0.25));
+  EXPECT_EQ(c.Get(1), Value::Double(-1.5e300));
+}
+
+TEST(ColumnTest, MixedTypesDemoteToTaggedStorage) {
+  Column c;
+  c.Append(Value::Int64(1));
+  c.Append(Value::Double(2.5));  // type mismatch -> per-element tags
+  EXPECT_FALSE(c.uniform());
+  EXPECT_EQ(c.Get(0), Value::Int64(1));
+  EXPECT_EQ(c.Get(1), Value::Double(2.5));
+  EXPECT_FALSE(c.ElemEquals(0, c, 1));
+}
+
+TEST(ColumnTest, HashMatchesValueHash) {
+  Column c;
+  c.Append(Value::Int64(99));
+  c.Append(Value::StringCode(3));
+  EXPECT_EQ(c.HashAt(0), Value::Int64(99).Hash());
+  EXPECT_EQ(c.HashAt(1), Value::StringCode(3).Hash());
+}
+
+TEST(ColumnarTest, ScanSharesTableColumnsZeroCopy) {
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 2}, 0.5}, {{3, 4}, 0.25}});
+  ConjunctiveQuery q = Q("q(x,y) :- R(x,y)");
+  auto rel = ScanAtom(db, q, 0);
+  ASSERT_TRUE(rel.ok());
+  const Table* t = *db.GetTable("R");
+  // Unfiltered scan: the Rel references the very same column objects.
+  EXPECT_EQ(rel->col(0).get(), t->col(0).get());
+  EXPECT_EQ(rel->col(1).get(), t->col(1).get());
+  EXPECT_EQ(rel->weights().get(), t->weights().get());
+}
+
+TEST(ColumnarTest, CopyOnWriteLeavesSharedColumnsIntact) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.25}});
+  ConjunctiveQuery q = Q("q(x) :- R(x)");
+  auto rel = ScanAtom(db, q, 0);
+  ASSERT_TRUE(rel.ok());
+  Rel copy = *rel;  // shallow
+  EXPECT_EQ(copy.col(0).get(), rel->col(0).get());
+  copy.SetScore(0, 0.99);  // triggers copy-on-write of the score column
+  EXPECT_DOUBLE_EQ(copy.Score(0), 0.99);
+  EXPECT_DOUBLE_EQ(rel->Score(0), 0.5);
+  EXPECT_DOUBLE_EQ((*db.GetTable("R"))->Prob(0), 0.5);
+}
+
+TEST(ColumnarTest, TableShallowCopyThenMutateIsIsolated) {
+  Table t(RelationSchema::AllInt64("R", 1));
+  t.AddRow({Value::Int64(1)}, 0.5);
+  Table copy = t;
+  copy.SetProb(0, 0.9);
+  EXPECT_DOUBLE_EQ(t.Prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(copy.Prob(0), 0.9);
+  copy.AddRow({Value::Int64(2)}, 0.1);
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(copy.NumRows(), 2u);
+  EXPECT_EQ(t.At(0, 0), Value::Int64(1));
+}
+
+TEST(ColumnarTest, ZeroArityAccountingUnifiedAcrossTableAndRel) {
+  Table t(RelationSchema::AllInt64("B", 0));
+  t.AddRow(std::span<const Value>{}, 0.5);
+  t.AddRow(std::span<const Value>{}, 0.25);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(t.Prob(1), 0.25);
+
+  Rel r(std::vector<VarId>{});
+  r.AddRow({}, 0.75);
+  r.AddRow({}, 0.5);
+  r.AddRow({}, 0.125);
+  EXPECT_EQ(r.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(r.Score(2), 0.125);
+
+  // Reserve must be harmless for zero-arity relations too.
+  t.Reserve(10);
+  r.Reserve(10);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST(ColumnarTest, SelectAllRowsSharesColumns) {
+  Table t(RelationSchema::AllInt64("R", 1));
+  t.AddRow({Value::Int64(1)}, 0.5);
+  t.AddRow({Value::Int64(2)}, 0.25);
+  std::vector<uint32_t> all = {0, 1};
+  Table s = t.Select(all);
+  EXPECT_EQ(s.col(0).get(), t.col(0).get());
+  std::vector<uint32_t> some = {1};
+  Table s2 = t.Select(some);
+  EXPECT_EQ(s2.NumRows(), 1u);
+  EXPECT_EQ(s2.At(0, 0), Value::Int64(2));
+  EXPECT_DOUBLE_EQ(s2.Prob(0), 0.25);
+}
+
+TEST(ColumnarTest, HashKeyColumnsAgreeWithPerRowHashing) {
+  Table t(RelationSchema::AllInt64("R", 2));
+  t.AddRow({Value::Int64(1), Value::Int64(5)}, 1.0);
+  t.AddRow({Value::Int64(1), Value::Int64(5)}, 1.0);
+  t.AddRow({Value::Int64(2), Value::Int64(5)}, 1.0);
+  std::vector<int> keys = {0, 1};
+  auto h = HashKeyColumns(t, keys);
+  EXPECT_EQ(h[0], h[1]);
+  EXPECT_NE(h[0], h[2]);
+  EXPECT_TRUE(KeysEqual(t, 0, keys, t, 1, keys));
+  EXPECT_FALSE(KeysEqual(t, 0, keys, t, 2, keys));
+}
+
+}  // namespace
+}  // namespace dissodb

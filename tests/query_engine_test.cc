@@ -1,0 +1,169 @@
+// QueryEngine facade: pipeline parity with PropagationScore, plan caching,
+// datalog entry point, overrides, and concurrent read-only queries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dissociation/propagation.h"
+#include "src/engine/query_engine.h"
+#include "src/workload/random_instance.h"
+#include "src/workload/synthetic.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Q;
+
+Database RstDatabase() {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}, {{2}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}, {{1, 20}, 0.4}, {{2, 20}, 0.8}});
+  AddTable(&db, "T", 1, {{{10}, 0.6}, {{20}, 0.3}});
+  return db;
+}
+
+TEST(QueryEngineTest, MatchesPropagationScoreOnRandomInstances) {
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(7000 + seed);
+    RandomQuerySpec qs;
+    qs.min_atoms = 1;
+    qs.max_atoms = 3;
+    ConjunctiveQuery q = RandomQuery(&rng, qs);
+    Database db = RandomDatabaseFor(q, &rng);
+
+    auto expected = PropagationScore(db, q);
+    QueryEngine engine = QueryEngine::Borrow(db);
+    auto got = engine.Run(q);
+    ASSERT_EQ(expected.ok(), got.ok()) << "seed " << seed;
+    if (!expected.ok()) continue;
+    ASSERT_EQ(got->answers.size(), expected->answers.size()) << "seed " << seed;
+    for (size_t i = 0; i < got->answers.size(); ++i) {
+      EXPECT_EQ(got->answers[i].tuple, expected->answers[i].tuple);
+      EXPECT_DOUBLE_EQ(got->answers[i].score, expected->answers[i].score);
+    }
+    EXPECT_EQ(got->num_minimal_plans, expected->num_minimal_plans);
+  }
+}
+
+TEST(QueryEngineTest, ParsesDatalogAndRanksAnswers) {
+  Database db = RstDatabase();
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto res = engine.Run("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->answers.size(), 2u);
+  EXPECT_GE(res->answers[0].score, res->answers[1].score);
+}
+
+TEST(QueryEngineTest, PlanCacheHitsOnRepeatedQueries) {
+  Database db = RstDatabase();
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto r1 = engine.Run("q() :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->from_plan_cache);
+  auto r2 = engine.Run("q() :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->from_plan_cache);
+  // Same query, different surface syntax -> same canonical key.
+  auto r3 = engine.Run("q()  :-  R(x) , S(x , y), T(y).");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->from_plan_cache);
+  EXPECT_EQ(r1->answers[0].score, r2->answers[0].score);
+  EXPECT_EQ(engine.stats().plan_cache_hits, 2u);
+  EXPECT_EQ(engine.stats().plan_cache_misses, 1u);
+}
+
+TEST(QueryEngineTest, CacheCapacityZeroDisablesCaching) {
+  Database db = RstDatabase();
+  EngineOptions opts;
+  opts.plan_cache_capacity = 0;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  (void)engine.Run("q() :- R(x), S(x,y), T(y)");
+  auto r2 = engine.Run("q() :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->from_plan_cache);
+}
+
+TEST(QueryEngineTest, RunBooleanMatchesPropagationScoreBoolean) {
+  Database db = RstDatabase();
+  ConjunctiveQuery q = Q("q() :- R(x), S(x,y), T(y)");
+  auto expected = PropagationScoreBoolean(db, q);
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto got = engine.RunBoolean("q() :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(*got, *expected);
+}
+
+TEST(QueryEngineTest, OverridesRebindAtoms) {
+  Database db = RstDatabase();
+  Table small(RelationSchema::AllInt64("R", 1));
+  small.AddRow({Value::Int64(2)}, 0.5);
+  QueryEngine engine = QueryEngine::Borrow(db);
+  ConjunctiveQuery q = Q("q(x) :- R(x), S(x,y), T(y)");
+  auto res = engine.Run(q, {{0, &small}});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->answers.size(), 1u);
+  EXPECT_EQ(res->answers[0].tuple[0], Value::Int64(2));
+}
+
+TEST(QueryEngineTest, UnknownStringConstantSelectsNothing) {
+  Database db;
+  Table t(RelationSchema{"Person",
+                         {"name"},
+                         {ValueType::kString},
+                         false,
+                         {}});
+  t.AddRow({db.Str("alice")}, 0.9);
+  (void)db.AddTable(std::move(t));
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto hit = engine.Run("q() :- Person('alice')");
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  ASSERT_EQ(hit->answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(hit->answers[0].score, 0.9);
+  // 'bob' was never interned: parse succeeds read-only, matches no tuple.
+  auto miss = engine.Run("q() :- Person('bob')");
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_TRUE(miss->answers.empty());
+}
+
+TEST(QueryEngineTest, ConcurrentQueriesOverSharedEngine) {
+  ChainSpec spec;
+  spec.k = 3;
+  spec.n = 200;
+  spec.seed = 11;
+  auto db = std::make_shared<const Database>(MakeChainDatabase(spec));
+  QueryEngine engine(db);
+  ConjunctiveQuery q = MakeChainQuery(3);
+
+  auto baseline = engine.Run(q);
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 20;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto r = engine.Run(q);
+        if (!r.ok() || r->answers.size() != baseline->answers.size()) {
+          ++failures[t];
+          continue;
+        }
+        for (size_t a = 0; a < r->answers.size(); ++a) {
+          if (r->answers[a].score != baseline->answers[a].score) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  EXPECT_EQ(engine.stats().queries,
+            1u + kThreads * static_cast<size_t>(kQueriesPerThread));
+}
+
+}  // namespace
+}  // namespace dissodb

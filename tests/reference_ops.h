@@ -1,0 +1,134 @@
+// Naive row-at-a-time reference implementations of the relational
+// operators, kept deliberately simple (nested loops, std::map grouping) so
+// the vectorized columnar operators in src/exec can be checked against them
+// on random instances. These mirror the extensional semantics of Def. 4:
+// joins multiply scores, independent projection combines as 1 - prod(1-s),
+// distinct projection forces 1, MinMerge takes per-row minima.
+#ifndef DISSODB_TESTS_REFERENCE_OPS_H_
+#define DISSODB_TESTS_REFERENCE_OPS_H_
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/exec/rel.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+namespace testing_util {
+
+/// A reference relation: materialized rows in canonical (ascending VarId)
+/// column order plus scores.
+struct RefRel {
+  std::vector<VarId> vars;
+  std::vector<std::vector<Value>> rows;
+  std::vector<double> scores;
+};
+
+inline RefRel ToRef(const Rel& r) {
+  RefRel out;
+  out.vars = r.vars();
+  for (size_t i = 0; i < r.NumRows(); ++i) {
+    std::vector<Value> row(r.arity());
+    for (int c = 0; c < r.arity(); ++c) row[c] = r.At(i, c);
+    out.rows.push_back(std::move(row));
+    out.scores.push_back(r.Score(i));
+  }
+  return out;
+}
+
+/// Sorted (row, score) pairs for order-insensitive comparison.
+inline std::vector<std::pair<std::vector<Value>, double>> Canonical(
+    const RefRel& r) {
+  std::vector<std::pair<std::vector<Value>, double>> out;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    out.emplace_back(r.rows[i], r.scores[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline int RefColIndex(const RefRel& r, VarId v) {
+  auto it = std::lower_bound(r.vars.begin(), r.vars.end(), v);
+  if (it == r.vars.end() || *it != v) return -1;
+  return static_cast<int>(it - r.vars.begin());
+}
+
+/// Nested-loop natural join; scores multiply.
+inline RefRel RefJoin(const RefRel& a, const RefRel& b) {
+  VarMask ma = 0, mb = 0;
+  for (VarId v : a.vars) ma |= MaskOf(v);
+  for (VarId v : b.vars) mb |= MaskOf(v);
+  std::vector<VarId> shared = MaskToVars(ma & mb);
+  RefRel out;
+  out.vars = MaskToVars(ma | mb);
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    for (size_t j = 0; j < b.rows.size(); ++j) {
+      bool match = true;
+      for (VarId v : shared) {
+        if (a.rows[i][RefColIndex(a, v)] != b.rows[j][RefColIndex(b, v)]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> row;
+      for (VarId v : out.vars) {
+        int ca = RefColIndex(a, v);
+        row.push_back(ca >= 0 ? a.rows[i][ca] : b.rows[j][RefColIndex(b, v)]);
+      }
+      out.rows.push_back(std::move(row));
+      out.scores.push_back(a.scores[i] * b.scores[j]);
+    }
+  }
+  return out;
+}
+
+/// Projection with duplicate elimination; `independent` combines scores as
+/// 1 - prod(1 - s), otherwise scores are forced to 1 (distinct).
+inline RefRel RefProject(const RefRel& in, VarMask keep, bool independent) {
+  RefRel out;
+  out.vars = MaskToVars(keep);
+  std::map<std::vector<Value>, double> groups;  // key -> prod(1 - s)
+  std::vector<std::vector<Value>> order;
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    std::vector<Value> key;
+    for (VarId v : out.vars) key.push_back(in.rows[i][RefColIndex(in, v)]);
+    auto [it, inserted] = groups.try_emplace(key, 1.0);
+    if (inserted) order.push_back(key);
+    it->second *= 1.0 - in.scores[i];
+  }
+  for (const auto& key : order) {
+    out.rows.push_back(key);
+    out.scores.push_back(independent ? 1.0 - groups[key] : 1.0);
+  }
+  return out;
+}
+
+/// Per-row minimum across inputs over the same variable set.
+inline RefRel RefMinMerge(const std::vector<RefRel>& inputs) {
+  RefRel out;
+  out.vars = inputs[0].vars;
+  std::map<std::vector<Value>, double> best;
+  std::vector<std::vector<Value>> order;
+  for (const auto& in : inputs) {
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      auto [it, inserted] = best.try_emplace(in.rows[i], in.scores[i]);
+      if (inserted) {
+        order.push_back(in.rows[i]);
+      } else {
+        it->second = std::min(it->second, in.scores[i]);
+      }
+    }
+  }
+  for (const auto& key : order) {
+    out.rows.push_back(key);
+    out.scores.push_back(best[key]);
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace dissodb
+
+#endif  // DISSODB_TESTS_REFERENCE_OPS_H_
