@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on ns/row regressions.
+
+The bench binaries write machine-readable results as
+    {"bench": "<name>", "results": [{"op": ..., "rows": N, "ns_per_row": X}]}
+and the repo commits the previous run under bench/baselines/. CI reruns the
+bench and calls this script to diff the trajectories:
+
+    python3 bench/compare_bench.py bench/baselines/BENCH_micro_operators.json \
+        build/BENCH_micro_operators.json --threshold 0.25
+
+Exit code 1 iff some (op, rows) pair got more than `threshold` slower.
+Entries only present on one side are reported but never fail the check
+(benches gain and retire ops across PRs). Ops whose `ns_per_row` field is
+not a time (micro_batch's `batch_speedup` / `result_cache_hit_rate`) are
+skipped via --skip. Use --update to overwrite the baseline with the
+current run after an intentional change.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    table = {}
+    for r in doc.get("results", []):
+        table[(r["op"], r["rows"])] = r["ns_per_row"]
+    return doc.get("bench", "?"), table
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed slowdown fraction (default 0.25)")
+    ap.add_argument("--min-ns", type=float, default=0.5,
+                    help="ignore entries faster than this in the baseline "
+                         "(sub-ns timings are noise)")
+    ap.add_argument("--skip", default="batch_speedup,result_cache_hit_rate",
+                    help="comma-separated op substrings that are not "
+                         "ns/row measurements")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current over baseline instead of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    base_name, base = load(args.baseline)
+    cur_name, cur = load(args.current)
+    skip = [s for s in args.skip.split(",") if s]
+
+    regressions = []
+    print(f"{'op':<40}{'rows':>10}{'base':>12}{'cur':>12}{'ratio':>8}")
+    print("-" * 82)
+    for key in sorted(base.keys() | cur.keys()):
+        op, rows = key
+        if any(s in op for s in skip):
+            continue
+        b = base.get(key)
+        c = cur.get(key)
+        if b is None:
+            print(f"{op:<40}{rows:>10}{'--':>12}{c:>12.2f}{'new':>8}")
+            continue
+        if c is None:
+            print(f"{op:<40}{rows:>10}{b:>12.2f}{'--':>12}{'gone':>8}")
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if b >= args.min_ns and ratio > 1.0 + args.threshold:
+            regressions.append((op, rows, b, c, ratio))
+            flag = "  << REGRESSION"
+        print(f"{op:<40}{rows:>10}{b:>12.2f}{c:>12.2f}{ratio:>8.2f}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} op(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:")
+        for op, rows, b, c, ratio in regressions:
+            print(f"  {op} rows={rows}: {b:.2f} -> {c:.2f} ns/row "
+                  f"({ratio:.2f}x)")
+        print("If intentional, refresh the baseline with --update.")
+        return 1
+    print(f"\nOK: no >{args.threshold:.0%} regressions "
+          f"({base_name} vs {cur_name}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

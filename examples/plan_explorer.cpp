@@ -100,5 +100,23 @@ int main(int argc, char** argv) {
                 res->answers.size(), res->nodes_evaluated,
                 RankingToString(res->answers, db, 5).c_str());
   }
+
+  // Serving path: the same query three times as one batch — the compiled
+  // plan comes from the plan cache and the duplicate evaluations are
+  // served from the shared subplan result cache.
+  auto batch = engine.RunBatch(std::vector<ConjunctiveQuery>{*q, *q, *q});
+  if (batch.ok()) {
+    EngineStats s = engine.stats();
+    std::printf("\nengine stats after Run + RunBatch{3 copies}:\n");
+    std::printf("  queries:            %zu (%zu via RunBatch)\n", s.queries,
+                s.batch_queries);
+    std::printf("  plan cache:         %zu hits, %zu misses\n",
+                s.plan_cache_hits, s.plan_cache_misses);
+    std::printf("  result cache:       %zu hits, %zu misses, %zu evictions, "
+                "%zu entries\n",
+                s.result_cache_hits, s.result_cache_misses,
+                s.result_cache_evictions, s.result_cache_entries);
+    std::printf("  scheduler tasks:    %zu\n", s.tasks_executed);
+  }
   return 0;
 }

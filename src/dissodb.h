@@ -36,6 +36,8 @@
 #include "src/query/cq.h"
 #include "src/query/cuts.h"
 #include "src/query/parser.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/scheduler.h"
 #include "src/storage/columnar.h"
 #include "src/storage/database.h"
 #include "src/storage/schema.h"

@@ -1,6 +1,7 @@
 #include "src/engine/query_engine.h"
 
 #include <algorithm>
+#include <functional>
 #include <mutex>
 
 #include "src/dissociation/minimal_plans.h"
@@ -30,7 +31,11 @@ std::string CacheKey(const ConjunctiveQuery& q, const PropagationOptions& o) {
 
 QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
                          EngineOptions opts)
-    : db_(std::move(db)), opts_(opts) {}
+    : db_(std::move(db)), opts_(opts) {
+  if (opts_.result_cache_capacity > 0) {
+    result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
+  }
+}
 
 QueryEngine QueryEngine::Borrow(const Database& db, EngineOptions opts) {
   // Aliasing shared_ptr: shares no ownership; the caller keeps `db` alive.
@@ -50,6 +55,14 @@ Result<QueryResult> QueryEngine::Run(
 Result<QueryResult> QueryEngine::Run(
     const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides) {
+  return RunInternal(q, overrides, /*scheduler=*/nullptr,
+                     /*use_result_cache=*/false);
+}
+
+Result<QueryResult> QueryEngine::RunInternal(
+    const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides,
+    Scheduler* scheduler, bool use_result_cache) {
   bool cache_hit = false;
   auto compiled = GetOrCompile(q, &cache_hit);
   if (!compiled.ok()) return compiled.status();
@@ -73,9 +86,14 @@ Result<QueryResult> QueryEngine::Run(
   if ((*compiled)->single_plan) {
     PlanEvaluator ev(*db_, q);
     for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
+    if (use_result_cache && result_cache_) {
+      ev.SetResultCache(result_cache_.get(), db_->version());
+    }
+    ev.SetScheduler(scheduler);
     auto rel = ev.Evaluate((*compiled)->single_plan);
     if (!rel.ok()) return rel.status();
     result.nodes_evaluated = ev.nodes_evaluated();
+    result.result_cache_hits = ev.result_cache_hits();
     scores = **rel;
   } else {
     auto rel = EvaluatePlansSeparately(*db_, q, (*compiled)->plans, effective);
@@ -101,6 +119,65 @@ Result<double> QueryEngine::RunBoolean(std::string_view query_text) {
   if (!r.ok()) return r.status();
   if (r->answers.empty()) return 0.0;
   return r->answers[0].score;
+}
+
+Scheduler* QueryEngine::EnsureScheduler() {
+  {
+    std::shared_lock lock(mu_);
+    if (scheduler_) return scheduler_.get();
+  }
+  std::unique_lock lock(mu_);
+  if (!scheduler_) {
+    scheduler_ = std::make_unique<Scheduler>(opts_.num_threads);
+  }
+  return scheduler_.get();
+}
+
+Result<std::vector<QueryResult>> QueryEngine::RunBatch(
+    const std::vector<ConjunctiveQuery>& queries) {
+  const size_t n = queries.size();
+  std::vector<QueryResult> results(n);
+  std::vector<Status> statuses(n);
+  if (n == 0) return results;
+
+  Scheduler* scheduler = EnsureScheduler();
+  // One task per query; the pool runs them concurrently (the caller thread
+  // participates) and each task may fan its own large operators out as
+  // morsels on the same pool — ParallelFor is work-sharing, so the nesting
+  // cannot deadlock. Cross-query subplan sharing happens inside the
+  // evaluator through the engine's ResultCache.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks.push_back([this, i, &queries, &results, &statuses, scheduler] {
+      auto r = RunInternal(queries[i], {}, scheduler,
+                           /*use_result_cache=*/true);
+      if (r.ok()) {
+        results[i] = std::move(*r);
+      } else {
+        statuses[i] = r.status();
+      }
+    });
+  }
+  scheduler->RunAll(std::move(tasks));
+  batch_queries_.fetch_add(n, std::memory_order_relaxed);
+
+  for (const auto& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return results;
+}
+
+Result<std::vector<QueryResult>> QueryEngine::RunBatch(
+    const std::vector<std::string>& query_texts) {
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(query_texts.size());
+  for (const auto& text : query_texts) {
+    auto q = ParseQueryReadOnly(text, db_->strings());
+    if (!q.ok()) return q.status();
+    queries.push_back(std::move(*q));
+  }
+  return RunBatch(queries);
 }
 
 Result<std::shared_ptr<const QueryEngine::CompiledQuery>>
@@ -157,8 +234,20 @@ QueryEngine::GetOrCompile(const ConjunctiveQuery& q, bool* cache_hit) {
 EngineStats QueryEngine::stats() const {
   EngineStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
+  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
   s.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  if (result_cache_) {
+    ResultCacheStats rc = result_cache_->stats();
+    s.result_cache_hits = rc.hits;
+    s.result_cache_misses = rc.misses;
+    s.result_cache_evictions = rc.evictions;
+    s.result_cache_entries = rc.entries;
+  }
+  {
+    std::shared_lock lock(mu_);
+    if (scheduler_) s.tasks_executed = scheduler_->tasks_executed();
+  }
   return s;
 }
 

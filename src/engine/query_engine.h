@@ -6,10 +6,19 @@
 // by query signature + optimization flags, so repeated queries skip
 // enumeration and plan construction entirely.
 //
+// Serving layer (src/serve/): the engine also owns a bounded ResultCache of
+// evaluated subplan relations keyed by (plan fingerprint, database version)
+// — the paper's Opt. 2 subplan sharing lifted from one plan DAG to the
+// whole workload — and a Scheduler thread pool. RunBatch evaluates many
+// queries at once: identical subplans across the batch are computed once
+// through the cache, the residual work is fanned out on the pool, and the
+// morsel-parallel operators split large joins/groupings across cores.
+// Rankings are bit-identical to sequential Run calls.
+//
 // Thread safety: the engine never mutates the database (string constants
-// parse through the read-only pool path), and the plan cache is guarded by
-// a shared mutex — any number of threads may call Run() concurrently on one
-// engine over one shared immutable Database.
+// parse through the read-only pool path), and both caches are internally
+// synchronized — any number of threads may call Run()/RunBatch()
+// concurrently on one engine over one shared immutable Database.
 #ifndef DISSODB_ENGINE_QUERY_ENGINE_H_
 #define DISSODB_ENGINE_QUERY_ENGINE_H_
 
@@ -25,6 +34,8 @@
 #include "src/exec/ranking.h"
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/scheduler.h"
 #include "src/storage/database.h"
 
 namespace dissodb {
@@ -35,12 +46,29 @@ struct EngineOptions {
   PropagationOptions propagation;
   /// Max cached compiled plans; 0 disables the cache.
   size_t plan_cache_capacity = 1024;
+  /// Max cached evaluated subplan relations shared across the queries of
+  /// RunBatch workloads; 0 disables the result cache. Plain Run never
+  /// consults it, so single-query timings measure evaluation, not caching.
+  /// Caveat: opt3_semijoin_reduction rebinds every atom to a per-query
+  /// reduced table, which makes every subplan override-tainted — sound,
+  /// but no subplan is ever shared, so batch workloads that want cache
+  /// sharing should leave opt3 off (the default).
+  size_t result_cache_capacity = 256;
+  /// Worker threads for RunBatch / morsel-parallel operators;
+  /// 0 = hardware concurrency. The pool starts lazily on first RunBatch.
+  int num_threads = 0;
 };
 
 struct EngineStats {
   size_t queries = 0;
+  size_t batch_queries = 0;  ///< subset of `queries` served through RunBatch
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
+  size_t result_cache_hits = 0;
+  size_t result_cache_misses = 0;
+  size_t result_cache_evictions = 0;
+  size_t result_cache_entries = 0;
+  size_t tasks_executed = 0;  ///< scheduler tasks (query tasks + morsels)
 };
 
 struct QueryResult {
@@ -50,6 +78,8 @@ struct QueryResult {
   size_t num_minimal_plans = 0;
   /// Plan-DAG nodes actually evaluated (shows Opt. 2 sharing).
   size_t nodes_evaluated = 0;
+  /// Plan nodes served from the shared result cache instead of evaluated.
+  size_t result_cache_hits = 0;
   /// Whether the compiled plan came from the engine's cache.
   bool from_plan_cache = false;
 };
@@ -81,6 +111,21 @@ class QueryEngine {
   /// (0 when no satisfying assignment exists).
   Result<double> RunBoolean(std::string_view query_text);
 
+  /// Batch serving path: evaluates all `queries`, deduplicating shared
+  /// subplans through the result cache and scheduling the per-query work
+  /// on the thread pool (morsel-parallel operators split the large joins
+  /// and groupings further). Results align with `queries` by index and
+  /// rankings are bit-identical to sequential Run calls. On any per-query
+  /// failure the whole batch returns the first error (batches are
+  /// homogeneous workloads; partial delivery is the caller's job if ever
+  /// needed).
+  Result<std::vector<QueryResult>> RunBatch(
+      const std::vector<ConjunctiveQuery>& queries);
+
+  /// Parses, then batch-evaluates.
+  Result<std::vector<QueryResult>> RunBatch(
+      const std::vector<std::string>& query_texts);
+
   EngineStats stats() const;
 
  private:
@@ -95,6 +140,20 @@ class QueryEngine {
   Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
       const ConjunctiveQuery& q, bool* cache_hit);
 
+  /// Shared by Run and the batch tasks; `scheduler` enables the
+  /// morsel-parallel operator paths (nullptr = sequential operators) and
+  /// `use_result_cache` engages the workload-shared subplan cache. Plain
+  /// Run passes neither, so single-query evaluation keeps its exact
+  /// pre-serving semantics (strategy benchmarks and node-count tests
+  /// measure evaluation, not caching).
+  Result<QueryResult> RunInternal(
+      const ConjunctiveQuery& q,
+      const std::unordered_map<int, const Table*>& overrides,
+      Scheduler* scheduler, bool use_result_cache);
+
+  /// Starts the thread pool on first use.
+  Scheduler* EnsureScheduler();
+
   std::shared_ptr<const Database> db_;
   EngineOptions opts_;
 
@@ -102,7 +161,10 @@ class QueryEngine {
   std::unordered_map<std::string, std::shared_ptr<const CompiledQuery>>
       plan_cache_;
   std::vector<std::string> cache_order_;  // insertion order (FIFO eviction)
+  std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<Scheduler> scheduler_;  // lazy; guarded by mu_
   std::atomic<size_t> queries_{0};
+  std::atomic<size_t> batch_queries_{0};
   std::atomic<size_t> cache_hits_{0};
   std::atomic<size_t> cache_misses_{0};
 };

@@ -1,6 +1,8 @@
 #include "src/exec/evaluator.h"
 
 #include "src/exec/operators.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/scheduler.h"
 
 namespace dissodb {
 
@@ -8,6 +10,22 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
     const PlanPtr& plan) {
   auto it = cache_.find(plan.get());
   if (it != cache_.end()) return it->second;
+
+  // Workload-level sharing (Opt. 2 across queries): non-leaf nodes whose
+  // atoms are all bound to catalog tables key into the shared result cache
+  // by their query-independent fingerprint. Scan leaves are excluded — the
+  // unfiltered ones are zero-copy already, and caching them would only
+  // evict real work.
+  std::string shared_key;
+  if (result_cache_ != nullptr && plan->kind != PlanNode::Kind::kScan &&
+      (PlanAtomSet(plan) & override_atoms_) == 0) {
+    shared_key = PlanFingerprint(plan, q_, &fingerprint_memo_);
+    if (auto hit = result_cache_->Get(shared_key, db_version_)) {
+      ++result_cache_hits_;
+      cache_.emplace(plan.get(), hit);
+      return hit;
+    }
+  }
   ++nodes_evaluated_;
 
   std::shared_ptr<const Rel> result;
@@ -28,7 +46,7 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       // not in the materialized child; project onto what exists.
       VarMask keep = plan->head & (*child)->var_mask();
       result = std::make_shared<const Rel>(
-          ProjectIndependent(**child, keep));
+          ProjectIndependent(**child, keep, scheduler_));
       break;
     }
     case PlanNode::Kind::kJoin: {
@@ -62,7 +80,8 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
           }
         }
         used[best] = true;
-        current = std::make_shared<const Rel>(HashJoin(*current, *inputs[best]));
+        current = std::make_shared<const Rel>(
+            HashJoin(*current, *inputs[best], scheduler_));
       }
       result = current;
       break;
@@ -79,6 +98,9 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       result = std::make_shared<const Rel>(std::move(*merged));
       break;
     }
+  }
+  if (!shared_key.empty()) {
+    result_cache_->Put(shared_key, db_version_, result);
   }
   cache_.emplace(plan.get(), result);
   return result;

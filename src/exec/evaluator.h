@@ -1,7 +1,11 @@
 // Plan evaluation with extensional (score) semantics.
 //
 // The evaluator caches results by DAG node identity, so hash-consed shared
-// subplans (Opt. 2, the paper's views) are computed exactly once.
+// subplans (Opt. 2, the paper's views) are computed exactly once. A second,
+// optional cache level — the serving layer's shared ResultCache — extends
+// the same sharing across queries: nodes whose fingerprints match a
+// previously evaluated (and still version-current) subplan are served from
+// the cache instead of recomputed.
 #ifndef DISSODB_EXEC_EVALUATOR_H_
 #define DISSODB_EXEC_EVALUATOR_H_
 
@@ -17,6 +21,9 @@
 
 namespace dissodb {
 
+class ResultCache;  // src/serve/result_cache.h
+class Scheduler;    // src/serve/scheduler.h
+
 /// \brief Evaluates plans for one query over one database.
 class PlanEvaluator {
  public:
@@ -25,9 +32,26 @@ class PlanEvaluator {
 
   /// Overrides the table bound to `atom_idx` (per-query selections or
   /// semi-join-reduced inputs). The pointer must outlive the evaluator.
+  /// Subplans touching an overridden atom are never exchanged with the
+  /// shared result cache (their scans differ from the catalog tables).
   void SetAtomTable(int atom_idx, const Table* table) {
     overrides_[atom_idx] = table;
+    if (atom_idx >= 0 && atom_idx < 64) {
+      override_atoms_ |= uint64_t{1} << atom_idx;
+    }
   }
+
+  /// Attaches the workload-shared result cache. `db_version` must be the
+  /// Database::version() the evaluation runs against; entries are stored
+  /// and matched under that stamp.
+  void SetResultCache(ResultCache* cache, uint64_t db_version) {
+    result_cache_ = cache;
+    db_version_ = db_version;
+  }
+
+  /// Attaches a scheduler: the vectorized operators fan large row ranges
+  /// out as morsels. Results are bit-identical with or without it.
+  void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
 
   /// Evaluates `plan`; results of shared nodes are cached by node identity
   /// for the lifetime of the evaluator.
@@ -36,12 +60,21 @@ class PlanEvaluator {
   /// Number of plan-node evaluations actually executed (cache misses).
   size_t nodes_evaluated() const { return nodes_evaluated_; }
 
+  /// Nodes served from the shared result cache instead of evaluated.
+  size_t result_cache_hits() const { return result_cache_hits_; }
+
  private:
   const Database& db_;
   const ConjunctiveQuery& q_;
   std::unordered_map<int, const Table*> overrides_;
+  uint64_t override_atoms_ = 0;
   std::unordered_map<const PlanNode*, std::shared_ptr<const Rel>> cache_;
+  std::unordered_map<const PlanNode*, std::string> fingerprint_memo_;
   size_t nodes_evaluated_ = 0;
+  size_t result_cache_hits_ = 0;
+  ResultCache* result_cache_ = nullptr;
+  uint64_t db_version_ = 0;
+  Scheduler* scheduler_ = nullptr;
 };
 
 /// Evaluates each plan independently (no sharing) and min-merges the

@@ -6,8 +6,47 @@
 
 #include "src/common/hash.h"
 #include "src/exec/hash_table.h"
+#include "src/serve/scheduler.h"
 
 namespace dissodb {
+
+namespace {
+
+/// Rows per morsel for the parallel operator paths; inputs smaller than one
+/// morsel run sequentially (the fan-out overhead would dominate).
+constexpr size_t kMorselRows = 16384;
+
+/// Hash-prefix partitions for parallel build/grouping (top bits of the key
+/// hash, independent of the low bits FlatHashIndex buckets on).
+constexpr int kPartitionBits = 6;
+constexpr size_t kNumPartitions = size_t{1} << kPartitionBits;
+constexpr int kPartitionShift = 64 - kPartitionBits;
+
+/// Counting-sort layout of rows 0..n-1 by hash prefix: partition p owns
+/// rows[offsets[p] .. offsets[p+1]), ascending within each partition (the
+/// fill pass scans rows in order), which is what keeps the parallel paths
+/// bit-identical to the sequential ones.
+struct HashPartitions {
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> offsets;  // size kNumPartitions + 1
+};
+
+HashPartitions PartitionByHashPrefix(const std::vector<uint64_t>& h) {
+  HashPartitions out;
+  out.offsets.assign(kNumPartitions + 1, 0);
+  for (uint64_t v : h) ++out.offsets[(v >> kPartitionShift) + 1];
+  for (size_t p = 1; p <= kNumPartitions; ++p) {
+    out.offsets[p] += out.offsets[p - 1];
+  }
+  out.rows.resize(h.size());
+  std::vector<uint32_t> pos(out.offsets.begin(), out.offsets.end() - 1);
+  for (size_t r = 0; r < h.size(); ++r) {
+    out.rows[pos[h[r] >> kPartitionShift]++] = static_cast<uint32_t>(r);
+  }
+  return out;
+}
+
+}  // namespace
 
 AtomBinding BindAtom(const Atom& atom) {
   AtomBinding b;
@@ -101,7 +140,62 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                           sel.size());
 }
 
-Rel HashJoin(const Rel& left, const Rel& right) {
+namespace {
+
+/// Build-side index: either one flat table (sequential build) or one per
+/// hash-prefix partition (parallel build). Chains run through the shared
+/// `next` array; per-partition chains preserve the global ascending
+/// insertion order, so probes see build rows in the same (descending)
+/// order either way.
+struct JoinBuildIndex {
+  std::vector<FlatHashIndex> parts;
+  std::vector<uint32_t> next;
+  bool partitioned = false;
+
+  uint32_t Find(uint64_t h) const {
+    return parts[partitioned ? (h >> kPartitionShift) : 0].Find(h);
+  }
+};
+
+JoinBuildIndex BuildJoinIndex(const std::vector<uint64_t>& bh,
+                              Scheduler* scheduler) {
+  const size_t bn = bh.size();
+  JoinBuildIndex index;
+  index.next.resize(bn);
+  if (scheduler == nullptr || bn < kMorselRows) {
+    index.parts.emplace_back(bn);
+    FlatHashIndex& part = index.parts[0];
+    for (size_t r = 0; r < bn; ++r) {
+      uint32_t& head = part.HeadFor(bh[r]);
+      index.next[r] = head;
+      head = static_cast<uint32_t>(r);
+    }
+    return index;
+  }
+
+  index.partitioned = true;
+  HashPartitions parts = PartitionByHashPrefix(bh);
+  index.parts.reserve(kNumPartitions);
+  for (size_t p = 0; p < kNumPartitions; ++p) {
+    index.parts.emplace_back(parts.offsets[p + 1] - parts.offsets[p]);
+  }
+  scheduler->ParallelFor(0, kNumPartitions, 1, [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      FlatHashIndex& part = index.parts[p];
+      for (uint32_t i = parts.offsets[p]; i < parts.offsets[p + 1]; ++i) {
+        const uint32_t r = parts.rows[i];
+        uint32_t& head = part.HeadFor(bh[r]);
+        index.next[r] = head;
+        head = r;
+      }
+    }
+  });
+  return index;
+}
+
+}  // namespace
+
+Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
   const Rel& build = left.NumRows() <= right.NumRows() ? left : right;
   const Rel& probe = left.NumRows() <= right.NumRows() ? right : left;
 
@@ -112,52 +206,86 @@ Rel HashJoin(const Rel& left, const Rel& right) {
     probe_key.push_back(probe.ColIndex(v));
   }
 
-  // Build: one flat table over the batch-hashed build keys; duplicate keys
+  // Build: flat table(s) over the batch-hashed build keys; duplicate keys
   // chain through `next`.
   const size_t bn = build.NumRows();
   std::vector<uint64_t> bh = HashKeyColumns(build, build_key);
-  FlatHashIndex index(bn);
-  std::vector<uint32_t> next(bn);
-  for (size_t r = 0; r < bn; ++r) {
-    uint32_t& head = index.HeadFor(bh[r]);
-    next[r] = head;
-    head = static_cast<uint32_t>(r);
-  }
+  JoinBuildIndex index = BuildJoinIndex(bh, scheduler);
 
-  // Probe: batch-hash, then emit matching (build, probe) row pairs.
+  // Probe: batch-hash, then emit matching (build, probe) row pairs. Each
+  // morsel fills its own pair buffers; concatenating them in morsel order
+  // reproduces the sequential probe-row order exactly.
   std::vector<uint64_t> ph = HashKeyColumns(probe, probe_key);
-  std::vector<uint32_t> build_sel, probe_sel;
-  build_sel.reserve(probe.NumRows());
-  probe_sel.reserve(probe.NumRows());
-  for (size_t pr = 0; pr < probe.NumRows(); ++pr) {
-    for (uint32_t br = index.Find(ph[pr]); br != FlatHashIndex::kNil;
-         br = next[br]) {
-      if (!KeysEqual(build, br, build_key, probe, pr, probe_key)) continue;
-      build_sel.push_back(br);
-      probe_sel.push_back(static_cast<uint32_t>(pr));
+  const size_t pn = probe.NumRows();
+  auto probe_range = [&](size_t lo, size_t hi, std::vector<uint32_t>* bs,
+                         std::vector<uint32_t>* ps) {
+    for (size_t pr = lo; pr < hi; ++pr) {
+      for (uint32_t br = index.Find(ph[pr]); br != FlatHashIndex::kNil;
+           br = index.next[br]) {
+        if (!KeysEqual(build, br, build_key, probe, pr, probe_key)) continue;
+        bs->push_back(br);
+        ps->push_back(static_cast<uint32_t>(pr));
+      }
     }
+  };
+
+  std::vector<uint32_t> build_sel, probe_sel;
+  if (scheduler != nullptr && pn >= 2 * kMorselRows) {
+    const size_t num_morsels = (pn + kMorselRows - 1) / kMorselRows;
+    std::vector<std::vector<uint32_t>> mb(num_morsels), mp(num_morsels);
+    scheduler->ParallelFor(0, pn, kMorselRows, [&](size_t lo, size_t hi) {
+      const size_t k = lo / kMorselRows;
+      probe_range(lo, hi, &mb[k], &mp[k]);
+    });
+    size_t total = 0;
+    for (const auto& v : mb) total += v.size();
+    build_sel.reserve(total);
+    probe_sel.reserve(total);
+    for (size_t k = 0; k < num_morsels; ++k) {
+      build_sel.insert(build_sel.end(), mb[k].begin(), mb[k].end());
+      probe_sel.insert(probe_sel.end(), mp[k].begin(), mp[k].end());
+    }
+  } else {
+    build_sel.reserve(pn);
+    probe_sel.reserve(pn);
+    probe_range(0, pn, &build_sel, &probe_sel);
   }
 
-  // Assemble output columns by gathering from the source side.
+  // Assemble output columns by gathering from the source side (one
+  // independent task per column when a scheduler is available).
   std::vector<VarId> out_vars = MaskToVars(build.var_mask() | probe.var_mask());
-  std::vector<ColumnPtr> cols;
-  cols.reserve(out_vars.size());
-  for (VarId v : out_vars) {
+  std::vector<ColumnPtr> cols(out_vars.size());
+  auto fill_col = [&](size_t i) {
     auto col = std::make_shared<Column>();
-    int bc = build.ColIndex(v);
+    int bc = build.ColIndex(out_vars[i]);
     if (bc >= 0) {
       col->AppendGather(*build.col(bc), build_sel);
     } else {
-      col->AppendGather(*probe.col(probe.ColIndex(v)), probe_sel);
+      col->AppendGather(*probe.col(probe.ColIndex(out_vars[i])), probe_sel);
     }
-    cols.push_back(std::move(col));
-  }
+    cols[i] = std::move(col);
+  };
   auto scores = std::make_shared<std::vector<double>>();
-  scores->reserve(build_sel.size());
-  const auto& bw = *build.weights();
-  const auto& pw = *probe.weights();
-  for (size_t i = 0; i < build_sel.size(); ++i) {
-    scores->push_back(bw[build_sel[i]] * pw[probe_sel[i]]);
+  auto fill_scores = [&] {
+    scores->reserve(build_sel.size());
+    const auto& bw = *build.weights();
+    const auto& pw = *probe.weights();
+    for (size_t i = 0; i < build_sel.size(); ++i) {
+      scores->push_back(bw[build_sel[i]] * pw[probe_sel[i]]);
+    }
+  };
+  if (scheduler != nullptr && build_sel.size() >= 2 * kMorselRows &&
+      !out_vars.empty()) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(out_vars.size() + 1);
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      tasks.push_back([&fill_col, i] { fill_col(i); });
+    }
+    tasks.push_back([&fill_scores] { fill_scores(); });
+    scheduler->RunAll(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < out_vars.size(); ++i) fill_col(i);
+    fill_scores();
   }
   return Rel::FromColumns(std::move(out_vars), std::move(cols),
                           std::move(scores), build_sel.size());
@@ -165,12 +293,49 @@ Rel HashJoin(const Rel& left, const Rel& right) {
 
 namespace {
 
-/// Shared grouping loop for both projection flavors: batch-hash the key
-/// columns, assign each input row to a group via the flat index (groups
-/// with equal hashes chain; real key comparison on the input columns), and
-/// fold scores per group.
+/// Sequential grouping kernel shared by both projection flavors and both
+/// (sequential / partition-parallel) paths: assign each row of `rows` to a
+/// group via a flat index (groups with equal hashes chain; real key
+/// comparison on the input columns) and fold scores per group. `rows` must
+/// be ascending so the per-group fold order matches a full sequential scan.
 template <typename Init, typename Update>
-Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
+void GroupRows(const Rel& in, std::span<const int> key_pos,
+               const std::vector<uint64_t>& h, std::span<const uint32_t> rows,
+               Init init, Update update, std::vector<uint32_t>* group_rep,
+               std::vector<double>* acc) {
+  FlatHashIndex index(rows.size());
+  std::vector<uint32_t> group_next;  // chain of groups sharing a hash
+  const auto& w = *in.weights();
+  for (uint32_t r : rows) {
+    uint32_t& head = index.HeadFor(h[r]);
+    uint32_t g = head;
+    while (g != FlatHashIndex::kNil &&
+           !KeysEqual(in, r, key_pos, in, (*group_rep)[g], key_pos)) {
+      g = group_next[g];
+    }
+    if (g == FlatHashIndex::kNil) {
+      g = static_cast<uint32_t>(group_rep->size());
+      group_rep->push_back(r);
+      group_next.push_back(head);
+      head = g;
+      acc->push_back(init(w[r]));
+    } else {
+      (*acc)[g] = update((*acc)[g], w[r]);
+    }
+  }
+}
+
+/// Shared grouping loop for both projection flavors: batch-hash the key
+/// columns, group, and fold scores per group. With a scheduler and a large
+/// input, rows are partitioned by hash prefix and grouped per partition in
+/// parallel; every row of a group lands in the same partition (the
+/// partition is a function of the key hash) and partitions keep rows
+/// ascending, so re-sorting the merged groups by representative row
+/// reproduces the sequential first-occurrence group order and fold order
+/// exactly.
+template <typename Init, typename Update>
+Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
+                Init init, Update update) {
   assert((keep_mask & ~in.var_mask()) == 0);
   std::vector<VarId> keep_vars = MaskToVars(keep_mask);
   std::vector<int> key_pos;
@@ -179,27 +344,45 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
 
   const size_t n = in.NumRows();
   std::vector<uint64_t> h = HashKeyColumns(in, key_pos);
-  FlatHashIndex index(n);
-  std::vector<uint32_t> group_rep;   // representative input row per group
-  std::vector<uint32_t> group_next;  // chain of groups sharing a hash
-  std::vector<double> acc;           // folded score per group
-  const auto& w = *in.weights();
-  for (size_t r = 0; r < n; ++r) {
-    uint32_t& head = index.HeadFor(h[r]);
-    uint32_t g = head;
-    while (g != FlatHashIndex::kNil &&
-           !KeysEqual(in, r, key_pos, in, group_rep[g], key_pos)) {
-      g = group_next[g];
+
+  std::vector<uint32_t> group_rep;  // representative input row per group
+  std::vector<double> acc;          // folded score per group
+  if (scheduler != nullptr && n >= 2 * kMorselRows) {
+    HashPartitions parts = PartitionByHashPrefix(h);
+    std::vector<std::vector<uint32_t>> part_rep(kNumPartitions);
+    std::vector<std::vector<double>> part_acc(kNumPartitions);
+    scheduler->ParallelFor(0, kNumPartitions, 1, [&](size_t lo, size_t hi) {
+      for (size_t p = lo; p < hi; ++p) {
+        std::span<const uint32_t> rows(parts.rows.data() + parts.offsets[p],
+                                       parts.offsets[p + 1] - parts.offsets[p]);
+        GroupRows(in, key_pos, h, rows, init, update, &part_rep[p],
+                  &part_acc[p]);
+      }
+    });
+    // Merge: per-partition group lists are ascending by representative row;
+    // a k-way merge by representative restores the global first-occurrence
+    // order of the sequential scan.
+    size_t total_groups = 0;
+    for (const auto& v : part_rep) total_groups += v.size();
+    std::vector<std::pair<uint32_t, double>> merged;
+    merged.reserve(total_groups);
+    for (size_t p = 0; p < kNumPartitions; ++p) {
+      for (size_t g = 0; g < part_rep[p].size(); ++g) {
+        merged.emplace_back(part_rep[p][g], part_acc[p][g]);
+      }
     }
-    if (g == FlatHashIndex::kNil) {
-      g = static_cast<uint32_t>(group_rep.size());
-      group_rep.push_back(static_cast<uint32_t>(r));
-      group_next.push_back(head);
-      head = g;
-      acc.push_back(init(w[r]));
-    } else {
-      acc[g] = update(acc[g], w[r]);
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    group_rep.reserve(total_groups);
+    acc.reserve(total_groups);
+    for (const auto& [rep, a] : merged) {
+      group_rep.push_back(rep);
+      acc.push_back(a);
     }
+  } else {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    GroupRows(in, key_pos, h, all, init, update, &group_rep, &acc);
   }
 
   std::vector<ColumnPtr> cols;
@@ -216,11 +399,11 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Init init, Update update) {
 
 }  // namespace
 
-Rel ProjectIndependent(const Rel& in, VarMask keep_mask) {
+Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
   // Accumulate the complement product: acc = prod(1 - s_i); final score is
   // 1 - acc, rewritten in one pass at the end.
   Rel out = ProjectImpl(
-      in, keep_mask, [](double s) { return 1.0 - s; },
+      in, keep_mask, scheduler, [](double s) { return 1.0 - s; },
       [](double acc, double s) { return acc * (1.0 - s); });
   for (size_t r = 0; r < out.NumRows(); ++r) {
     out.SetScore(r, 1.0 - out.Score(r));
@@ -228,9 +411,9 @@ Rel ProjectIndependent(const Rel& in, VarMask keep_mask) {
   return out;
 }
 
-Rel ProjectDistinct(const Rel& in, VarMask keep_mask) {
+Rel ProjectDistinct(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
   return ProjectImpl(
-      in, keep_mask, [](double) { return 1.0; },
+      in, keep_mask, scheduler, [](double) { return 1.0; },
       [](double, double) { return 1.0; });
 }
 

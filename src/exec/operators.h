@@ -13,6 +13,8 @@
 
 namespace dissodb {
 
+class Scheduler;  // src/serve/scheduler.h
+
 /// One equality constraint an atom imposes on its table: column `pos` must
 /// equal column `other_pos` (repeated variable) or `constant` (other_pos -1).
 struct AtomEqCheck {
@@ -43,15 +45,29 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                      int atom_idx, const Table* table = nullptr);
 
 /// Natural hash join; scores multiply.
-Rel HashJoin(const Rel& left, const Rel& right);
+///
+/// With a scheduler and a large enough input, the build side is partitioned
+/// by hash prefix (one flat index per partition, built in parallel) and the
+/// probe side is split into row-range morsels fanned out on the pool. The
+/// parallel path emits rows in exactly the sequential order (morsel outputs
+/// concatenate in probe-row order; per-partition chains preserve the global
+/// insertion order), so results are bit-identical either way.
+Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler = nullptr);
 
 /// Projection with duplicate elimination onto `keep_mask` (must be a subset
 /// of the input variables); scores combine independently:
 /// s(group) = 1 - prod(1 - s_i).
-Rel ProjectIndependent(const Rel& in, VarMask keep_mask);
+///
+/// With a scheduler and a large enough input, rows are partitioned by key
+/// hash prefix and each partition is grouped independently; groups are then
+/// re-sorted by global first-occurrence row, reproducing the sequential
+/// group order and fold order bit-for-bit.
+Rel ProjectIndependent(const Rel& in, VarMask keep_mask,
+                       Scheduler* scheduler = nullptr);
 
 /// Deterministic projection: distinct rows, scores forced to 1.
-Rel ProjectDistinct(const Rel& in, VarMask keep_mask);
+Rel ProjectDistinct(const Rel& in, VarMask keep_mask,
+                    Scheduler* scheduler = nullptr);
 
 /// Per-row minimum across score-equivalent inputs (same variable sets and,
 /// for plans of the same query, the same row sets). Rows present in only

@@ -120,4 +120,51 @@ std::string CanonicalKey(const PlanPtr& plan) {
   return "?";
 }
 
+std::string PlanFingerprint(
+    const PlanPtr& plan, const ConjunctiveQuery& q,
+    std::unordered_map<const PlanNode*, std::string>* memo) {
+  if (memo != nullptr) {
+    auto it = memo->find(plan.get());
+    if (it != memo->end()) return it->second;
+  }
+  std::string out;
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      const Atom& atom = q.atom(plan->atom_idx);
+      out = "S:" + atom.relation + "(";
+      for (int p = 0; p < atom.arity(); ++p) {
+        if (p > 0) out += ",";
+        const Term& t = atom.terms[p];
+        if (t.is_var) {
+          out += "v" + std::to_string(t.var);
+        } else {
+          out += "c" + std::to_string(static_cast<int>(t.constant.type())) +
+                 ":" + std::to_string(t.constant.RawBits());
+        }
+      }
+      out += ")";
+      if (plan->extra_vars != 0) {
+        out += "+" + std::to_string(plan->extra_vars);
+      }
+      break;
+    }
+    case PlanNode::Kind::kProject:
+      out = "P" + std::to_string(plan->head) + "(" +
+            PlanFingerprint(plan->children[0], q, memo) + ")";
+      break;
+    case PlanNode::Kind::kJoin:
+    case PlanNode::Kind::kMin: {
+      out = plan->kind == PlanNode::Kind::kJoin ? "J[" : "M[";
+      for (size_t i = 0; i < plan->children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += PlanFingerprint(plan->children[i], q, memo);
+      }
+      out += "]";
+      break;
+    }
+  }
+  if (memo != nullptr) memo->emplace(plan.get(), out);
+  return out;
+}
+
 }  // namespace dissodb

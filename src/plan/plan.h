@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/query/cq.h"
@@ -75,6 +76,25 @@ PlanSize MeasurePlan(const PlanPtr& plan);
 /// up to join/min child order. Used for deduplication in tests and for
 /// hash-consing.
 std::string CanonicalKey(const PlanPtr& plan);
+
+/// Query-independent fingerprint for the workload-level result cache
+/// (serving layer). Unlike CanonicalKey, scan leaves are rendered through
+/// the query: relation name plus the full term pattern (variable ids and
+/// constants), so the fingerprint pins down exactly which relation is
+/// scanned and which selections apply. Child order is preserved (not
+/// sorted): equal fingerprints guarantee the evaluator performs the
+/// identical computation and produces a bit-identical Rel on the same
+/// database version, which is what makes cached results safe to share
+/// across queries. Plans from queries that name the same subexpression
+/// with different variable ids fingerprint differently and simply don't
+/// share — a sound under-approximation.
+///
+/// `memo` (keyed by node identity) makes repeated fingerprinting of a DAG
+/// linear: the evaluator fingerprints every node it visits, and without
+/// memoization each parent would re-render all of its children's strings.
+std::string PlanFingerprint(
+    const PlanPtr& plan, const ConjunctiveQuery& q,
+    std::unordered_map<const PlanNode*, std::string>* memo = nullptr);
 
 }  // namespace dissodb
 

@@ -1,0 +1,62 @@
+#include "src/serve/result_cache.h"
+
+namespace dissodb {
+
+std::shared_ptr<const Rel> ResultCache::Get(const std::string& key,
+                                            uint64_t db_version) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.db_version != db_version) {
+    // Stale: computed against an older database. Never serve it.
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+    ++evictions_;
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++hits_;
+  return it->second.rel;
+}
+
+void ResultCache::Put(const std::string& key, uint64_t db_version,
+                      std::shared_ptr<const Rel> rel) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.db_version = db_version;
+    it->second.rel = std::move(rel);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{db_version, std::move(rel), lru_.begin()});
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard lock(mu_);
+  ResultCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  return s;
+}
+
+}  // namespace dissodb

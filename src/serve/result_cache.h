@@ -1,0 +1,69 @@
+// Bounded, thread-safe cache of evaluated subplan relations, shared across
+// queries — the paper's Opt. 2 (reuse common subplans) lifted from one plan
+// DAG to the whole workload. Entries are keyed by the query-independent plan
+// fingerprint (PlanFingerprint) and stamped with the database version they
+// were computed against; a version mismatch is a miss and evicts the stale
+// entry, so mutating the database can never serve stale results.
+//
+// Values are shared_ptr<const Rel>: immutable, so a hit is a pointer copy
+// and concurrent readers need no further synchronization. Two threads
+// racing to fill the same key both compute (benign duplicated work) and the
+// second Put is a no-op refresh.
+#ifndef DISSODB_SERVE_RESULT_CACHE_H_
+#define DISSODB_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/exec/rel.h"
+
+namespace dissodb {
+
+struct ResultCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;  ///< capacity evictions + stale-version discards
+  size_t entries = 0;
+};
+
+class ResultCache {
+ public:
+  /// Holds at most `capacity` relations (LRU eviction); 0 disables the
+  /// cache entirely (Get always misses, Put drops).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached relation for `key` computed at `db_version`, or
+  /// nullptr. A version mismatch discards the stale entry.
+  std::shared_ptr<const Rel> Get(const std::string& key, uint64_t db_version);
+
+  /// Inserts (or refreshes) `rel` for `key` at `db_version`.
+  void Put(const std::string& key, uint64_t db_version,
+           std::shared_ptr<const Rel> rel);
+
+  void Clear();
+  ResultCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t db_version;
+    std::shared_ptr<const Rel> rel;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recently used
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_SERVE_RESULT_CACHE_H_

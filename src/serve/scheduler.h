@@ -1,0 +1,72 @@
+// Fixed thread pool with a shared work queue, used by the serving layer for
+// two kinds of parallelism:
+//   - inter-query: independent plan evaluations of a batch run concurrently
+//     (QueryEngine::RunBatch submits one task per query), and
+//   - intra-operator: the hot vectorized operators split their row ranges
+//     into morsels and fan them out (ParallelFor), so one large join or
+//     grouping uses all cores.
+//
+// ParallelFor is *work-sharing*: the calling thread claims morsels from the
+// same atomic cursor as the pool threads, so nested calls (a pooled query
+// task invoking a morsel-parallel operator on the same scheduler) can never
+// deadlock — the caller always makes progress even if every pool thread is
+// busy elsewhere.
+#ifndef DISSODB_SERVE_SCHEDULER_H_
+#define DISSODB_SERVE_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dissodb {
+
+class Scheduler {
+ public:
+  /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit Scheduler(int num_threads = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Total tasks executed (queue tasks + morsels), for serving stats.
+  size_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues `fn` for execution on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  /// Runs all of `fns` and returns when every one has finished. The calling
+  /// thread participates, so this works even with zero pool threads.
+  void RunAll(std::vector<std::function<void()>> fns);
+
+  /// Splits [begin, end) into morsels of at most `grain` rows and runs
+  /// `fn(lo, hi)` for each, in parallel, returning when all morsels are
+  /// done. Morsel index k covers [begin + k*grain, ...); callers that need
+  /// deterministic output collect per-morsel buffers indexed by
+  /// (lo - begin) / grain and concatenate in index order.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::atomic<size_t> tasks_executed_{0};
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_SERVE_SCHEDULER_H_

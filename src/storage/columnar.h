@@ -6,6 +6,17 @@
 // Columns are held by shared_ptr and shared zero-copy between tables and the
 // relations derived from them (scans, pass-through projections, shallow
 // copies); mutation goes through copy-on-write accessors, so sharing is safe.
+//
+// Thread safety: the copy-on-write check (`use_count() > 1`) synchronizes
+// correctly as long as no thread copies a ColumnarRows object *while*
+// another thread mutates that same object — distinct objects sharing
+// columns may be copied/read/mutated concurrently without restriction (two
+// concurrent mutators each observe a count > 1 and detach their own copy).
+// The serving layer upholds the contract structurally: relations published
+// to the shared ResultCache are `shared_ptr<const Rel>` and never mutated,
+// and morsel-parallel operators write only to task-private buffers. The CI
+// tsan job runs the engine/serve tests under -fsanitize=thread to keep
+// this honest.
 #ifndef DISSODB_STORAGE_COLUMNAR_H_
 #define DISSODB_STORAGE_COLUMNAR_H_
 

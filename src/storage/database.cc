@@ -24,6 +24,7 @@ Result<int> Database::AddTable(Table table) {
   int idx = static_cast<int>(tables_.size());
   tables_.push_back(std::make_unique<Table>(std::move(table)));
   by_name_.emplace(name, idx);
+  ++version_;
   return idx;
 }
 
@@ -46,6 +47,7 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
 
 void Database::ScaleProbabilities(double f) {
   for (auto& t : tables_) t->ScaleProbabilities(f);
+  ++version_;
 }
 
 Database Database::Clone() const {

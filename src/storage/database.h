@@ -57,7 +57,18 @@ class Database {
 
   int NumTables() const { return static_cast<int>(tables_.size()); }
   const Table& table(int idx) const { return *tables_[idx]; }
-  Table* mutable_table(int idx) { return tables_[idx].get(); }
+  Table* mutable_table(int idx) {
+    // Handing out a mutable table conservatively invalidates cached results
+    // (the serving layer's ResultCache keys on `version()`).
+    ++version_;
+    return tables_[idx].get();
+  }
+
+  /// Monotonic data version: bumped by every mutation entry point (adding
+  /// tables, mutable table access, probability scaling). The serving
+  /// layer's ResultCache stamps cached relations with this counter, so a
+  /// mutation invalidates all previously cached results for this database.
+  uint64_t version() const { return version_; }
 
   /// Index of table `name`, or -1.
   int FindTable(const std::string& name) const;
@@ -88,6 +99,7 @@ class Database {
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, int> by_name_;
   StringPool strings_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace dissodb

@@ -1,0 +1,211 @@
+// Batch serving path: RunBatch determinism against sequential Run, subplan
+// sharing through the result cache, and database-version invalidation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/workload/random_instance.h"
+#include "src/workload/synthetic.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Q;
+
+void ExpectSameRankings(const std::vector<RankedAnswer>& a,
+                        const std::vector<RankedAnswer>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple) << what << " row " << i;
+    // Bit-identical, not approximately equal: the batch path must perform
+    // the same floating-point operations in the same order.
+    EXPECT_EQ(a[i].score, b[i].score) << what << " row " << i;
+  }
+}
+
+TEST(BatchEngineTest, RunBatchMatchesSequentialRunOnRandomInstances) {
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(9000 + seed);
+    RandomQuerySpec qs;
+    qs.min_atoms = 1;
+    qs.max_atoms = 3;
+    ConjunctiveQuery q = RandomQuery(&rng, qs);
+    Database db = RandomDatabaseFor(q, &rng);
+
+    QueryEngine sequential = QueryEngine::Borrow(db);
+    auto expected = sequential.Run(q);
+
+    QueryEngine batch_engine = QueryEngine::Borrow(db);
+    // Duplicates in the batch exercise the result-cache sharing path.
+    auto got = batch_engine.RunBatch(
+        std::vector<ConjunctiveQuery>{q, q, q});
+    ASSERT_EQ(expected.ok(), got.ok()) << "seed " << seed;
+    if (!expected.ok()) continue;
+    ASSERT_EQ(got->size(), 3u);
+    for (const auto& r : *got) {
+      ExpectSameRankings(expected->answers, r.answers,
+                         "seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BatchEngineTest, OverlappingWorkloadSharesSubplansThroughCache) {
+  ChainSpec spec;
+  spec.k = 4;
+  spec.n = 300;
+  spec.seed = 5;
+  Database db = MakeChainDatabase(spec);
+  ConjunctiveQuery q = MakeChainQuery(4);
+
+  QueryEngine engine = QueryEngine::Borrow(db);
+  // Warm the cache with a single-query batch first: on a many-core pool,
+  // 8 concurrent duplicates could otherwise all miss before the first Put
+  // lands (a documented benign race) and make the hit assertions flaky.
+  auto warm = engine.RunBatch(std::vector<ConjunctiveQuery>{q});
+  ASSERT_TRUE(warm.ok());
+  std::vector<ConjunctiveQuery> workload(8, q);
+  auto results = engine.RunBatch(workload);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  // The first evaluation fills the cache; the duplicates are served from
+  // it (a duplicate query's root subplan is a cache hit, so it evaluates
+  // zero nodes).
+  EngineStats s = engine.stats();
+  EXPECT_GT(s.result_cache_hits, 0u);
+  EXPECT_GT(s.result_cache_entries, 0u);
+  EXPECT_EQ(s.batch_queries, 9u);  // 1 warm-up + 8 workload queries
+  EXPECT_GT(s.tasks_executed, 0u);
+  size_t total_hits = 0;
+  for (const auto& r : *results) total_hits += r.result_cache_hits;
+  EXPECT_GT(total_hits, 0u);
+
+  // Sequential Run never touches the result cache (its semantics measure
+  // evaluation), so hits stay put.
+  auto single = engine.Run(q);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->result_cache_hits, 0u);
+  EXPECT_EQ(engine.stats().result_cache_hits, s.result_cache_hits);
+}
+
+TEST(BatchEngineTest, MutationBumpsVersionAndInvalidatesCachedResults) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}});
+  AddTable(&db, "T", 1, {{{10}, 0.6}});
+  const uint64_t v0 = db.version();
+
+  QueryEngine engine = QueryEngine::Borrow(db);
+  ConjunctiveQuery q = Q("q() :- R(x), S(x,y), T(y)");
+  auto before = engine.RunBatch(std::vector<ConjunctiveQuery>{q, q});
+  ASSERT_TRUE(before.ok());
+  const double score_before = (*before)[0].answers[0].score;
+  EXPECT_GT(engine.stats().result_cache_hits, 0u);
+
+  // Mutate a base probability: the version counter moves and every cached
+  // subplan becomes stale.
+  db.mutable_table(0)->SetProb(0, 0.1);
+  EXPECT_GT(db.version(), v0);
+
+  auto after = engine.RunBatch(std::vector<ConjunctiveQuery>{q});
+  ASSERT_TRUE(after.ok());
+  const double score_after = (*after)[0].answers[0].score;
+  EXPECT_NE(score_before, score_after);
+
+  // The stale-entry discard counts as an eviction, and the recomputed
+  // score must match a fresh engine with no cache history.
+  EXPECT_GT(engine.stats().result_cache_evictions, 0u);
+  QueryEngine fresh = QueryEngine::Borrow(db);
+  auto expected = fresh.Run(q);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(score_after, expected->answers[0].score);
+}
+
+TEST(BatchEngineTest, MultiThreadedBatchIsDeterministic) {
+  ChainSpec spec;
+  spec.k = 5;
+  spec.n = 400;
+  spec.seed = 17;
+  auto db = std::make_shared<const Database>(MakeChainDatabase(spec));
+
+  // Sequential reference rankings, one engine per run to avoid any cache
+  // interaction.
+  std::vector<ConjunctiveQuery> workload;
+  for (int k = 2; k <= 5; ++k) {
+    for (int rep = 0; rep < 5; ++rep) workload.push_back(MakeChainQuery(k));
+  }
+  std::vector<std::vector<RankedAnswer>> expected;
+  {
+    QueryEngine sequential(db);
+    for (const auto& q : workload) {
+      auto r = sequential.Run(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      expected.push_back(r->answers);
+    }
+  }
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  QueryEngine engine(db, opts);
+  for (int round = 0; round < 3; ++round) {
+    auto results = engine.RunBatch(workload);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ExpectSameRankings(expected[i], (*results)[i].answers,
+                         "round " + std::to_string(round) + " query " +
+                             std::to_string(i));
+    }
+  }
+  EXPECT_GT(engine.stats().result_cache_hits, 0u);
+}
+
+TEST(BatchEngineTest, BatchFromDatalogTextsAndEmptyBatch) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}, {{2}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}, {{2, 20}, 0.8}});
+  QueryEngine engine = QueryEngine::Borrow(db);
+
+  auto empty = engine.RunBatch(std::vector<ConjunctiveQuery>{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto res = engine.RunBatch(std::vector<std::string>{
+      "q(x) :- R(x), S(x,y)", "q() :- R(x)"});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->size(), 2u);
+  EXPECT_EQ((*res)[0].answers.size(), 2u);
+  EXPECT_EQ((*res)[1].answers.size(), 1u);
+
+  auto bad = engine.RunBatch(std::vector<std::string>{"q(x) :- "});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BatchEngineTest, ResultCacheDisabledStillMatchesSequential) {
+  ChainSpec spec;
+  spec.k = 3;
+  spec.n = 150;
+  spec.seed = 23;
+  Database db = MakeChainDatabase(spec);
+  ConjunctiveQuery q = MakeChainQuery(3);
+
+  EngineOptions opts;
+  opts.result_cache_capacity = 0;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto seq = engine.Run(q);
+  ASSERT_TRUE(seq.ok());
+  auto batch = engine.RunBatch(std::vector<ConjunctiveQuery>{q, q});
+  ASSERT_TRUE(batch.ok());
+  for (const auto& r : *batch) {
+    ExpectSameRankings(seq->answers, r.answers, "no-cache batch");
+  }
+  EXPECT_EQ(engine.stats().result_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dissodb

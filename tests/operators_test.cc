@@ -1,7 +1,9 @@
 // Unit tests for the execution operators: scan, hash join, projections, min.
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/exec/operators.h"
+#include "src/serve/scheduler.h"
 #include "tests/test_util.h"
 
 namespace dissodb {
@@ -182,6 +184,77 @@ TEST(RelTest, ColIndexBinarySearch) {
   EXPECT_EQ(r.ColIndex(3), 1);
   EXPECT_EQ(r.ColIndex(5), 2);
   EXPECT_EQ(r.ColIndex(4), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel operator paths must be bit-identical to the sequential
+// ones: same rows, same order, same floating-point fold order.
+// ---------------------------------------------------------------------------
+
+Rel RandomBinaryRel(VarId a, VarId b, size_t rows, int64_t domain,
+                    uint64_t seed) {
+  Rng rng(seed);
+  Rel r(std::vector<VarId>{a, b});
+  r.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> row = {
+        Value::Int64(rng.NextInt(0, domain - 1)),
+        Value::Int64(rng.NextInt(0, domain - 1))};
+    r.AddRow(row, 0.05 + 0.9 * rng.NextDouble());
+  }
+  return r;
+}
+
+void ExpectBitIdentical(const Rel& a, const Rel& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.vars(), b.vars());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (int c = 0; c < a.arity(); ++c) {
+      ASSERT_EQ(a.At(r, c), b.At(r, c)) << "row " << r << " col " << c;
+    }
+    ASSERT_EQ(a.Score(r), b.Score(r)) << "row " << r;
+  }
+}
+
+TEST(ParallelOperatorsTest, HashJoinMatchesSequentialBitForBit) {
+  // Large enough to trip both the partitioned build (>= 16Ki rows) and the
+  // morsel-parallel probe (>= 32Ki rows).
+  Rel left = RandomBinaryRel(0, 1, 36'000, 18'000, 41);
+  Rel right = RandomBinaryRel(1, 2, 40'000, 18'000, 42);
+
+  Rel sequential = HashJoin(left, right);
+  Scheduler pool(4);
+  Rel parallel = HashJoin(left, right, &pool);
+  EXPECT_GT(sequential.NumRows(), 0u);
+  ExpectBitIdentical(sequential, parallel);
+  EXPECT_GT(pool.tasks_executed(), 1u);
+}
+
+TEST(ParallelOperatorsTest, ProjectIndependentMatchesSequentialBitForBit) {
+  Rel in = RandomBinaryRel(0, 1, 50'000, 700, 43);
+  Rel sequential = ProjectIndependent(in, MaskOf(0));
+  Scheduler pool(4);
+  Rel parallel = ProjectIndependent(in, MaskOf(0), &pool);
+  EXPECT_GT(sequential.NumRows(), 0u);
+  ExpectBitIdentical(sequential, parallel);
+}
+
+TEST(ParallelOperatorsTest, ProjectDistinctMatchesSequentialBitForBit) {
+  Rel in = RandomBinaryRel(0, 1, 40'000, 120, 44);
+  Rel sequential = ProjectDistinct(in, MaskOf(0) | MaskOf(1));
+  Scheduler pool(3);
+  Rel parallel = ProjectDistinct(in, MaskOf(0) | MaskOf(1), &pool);
+  ExpectBitIdentical(sequential, parallel);
+}
+
+TEST(ParallelOperatorsTest, SmallInputsBypassTheParallelPath) {
+  // Below the morsel threshold the scheduler must be ignored entirely.
+  Rel left = RandomBinaryRel(0, 1, 100, 20, 45);
+  Rel right = RandomBinaryRel(1, 2, 80, 20, 46);
+  Scheduler pool(2);
+  ExpectBitIdentical(HashJoin(left, right), HashJoin(left, right, &pool));
+  ExpectBitIdentical(ProjectIndependent(left, MaskOf(0)),
+                     ProjectIndependent(left, MaskOf(0), &pool));
 }
 
 }  // namespace

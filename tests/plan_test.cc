@@ -154,5 +154,62 @@ TEST(SqlGenTest, MinBecomesLeast) {
   EXPECT_NE(sql.find("LEAST("), std::string::npos);
 }
 
+TEST(PlanFingerprintTest, IdenticalSubplansAcrossParsesShareFingerprints) {
+  // Two independent parses of the same text intern variables identically,
+  // so the hand-built plans fingerprint the same — the property the
+  // workload-level result cache relies on.
+  auto q1 = Q("q(x) :- R(x,y), S(y)");
+  auto q2 = Q("q(x) :- R(x,y), S(y)");
+  PlanPtr p1 = MakeProject(Vars(q1, {"x"}),
+                           MakeJoin({MakeScan(0, q1.AtomMask(0)),
+                                     MakeScan(1, q1.AtomMask(1))}));
+  PlanPtr p2 = MakeProject(Vars(q2, {"x"}),
+                           MakeJoin({MakeScan(0, q2.AtomMask(0)),
+                                     MakeScan(1, q2.AtomMask(1))}));
+  EXPECT_EQ(PlanFingerprint(p1, q1), PlanFingerprint(p2, q2));
+
+  // Renaming a variable keeps the interned ids (y and z both intern to id
+  // 1), so the fingerprint still matches: sharing is by structure, not by
+  // surface names.
+  auto q3 = Q("q(x) :- R(x,z), S(z)");
+  PlanPtr p3 = MakeProject(Vars(q3, {"x"}),
+                           MakeJoin({MakeScan(0, q3.AtomMask(0)),
+                                     MakeScan(1, q3.AtomMask(1))}));
+  EXPECT_EQ(PlanFingerprint(p1, q1), PlanFingerprint(p3, q3));
+}
+
+TEST(PlanFingerprintTest, DistinguishesRelationsConstantsAndDissociation) {
+  auto qa = Q("q() :- R(x, 5)");
+  auto qb = Q("q() :- R(x, 6)");
+  PlanPtr pa = MakeScan(0, qa.AtomMask(0));
+  PlanPtr pb = MakeScan(0, qb.AtomMask(0));
+  EXPECT_NE(PlanFingerprint(pa, qa), PlanFingerprint(pb, qb));
+
+  auto qc = Q("q() :- T(x, 5)");
+  EXPECT_NE(PlanFingerprint(pa, qa),
+            PlanFingerprint(MakeScan(0, qc.AtomMask(0)), qc));
+
+  // A dissociated scan (extra virtual variables) must not collide with the
+  // plain scan of the same atom.
+  auto qd = Q("q() :- R(x), S(x,y)");
+  PlanPtr plain = MakeScan(0, qd.AtomMask(0));
+  PlanPtr dissociated = MakeScan(0, qd.AtomMask(0), Vars(qd, {"y"}));
+  EXPECT_NE(PlanFingerprint(plain, qd), PlanFingerprint(dissociated, qd));
+}
+
+TEST(PlanFingerprintTest, ChildOrderIsPreservedUnlikeCanonicalKey) {
+  // CanonicalKey sorts join children (structural equality up to order);
+  // the fingerprint deliberately keeps evaluation order, because the
+  // result cache promises bit-identical relations, and the evaluator's
+  // greedy join-order tie-breaking follows child positions.
+  auto q = Q("q() :- R(x), S(x)");
+  PlanPtr rs = MakeJoin({MakeScan(0, q.AtomMask(0)),
+                         MakeScan(1, q.AtomMask(1))});
+  PlanPtr sr = MakeJoin({MakeScan(1, q.AtomMask(1)),
+                         MakeScan(0, q.AtomMask(0))});
+  EXPECT_EQ(CanonicalKey(rs), CanonicalKey(sr));
+  EXPECT_NE(PlanFingerprint(rs, q), PlanFingerprint(sr, q));
+}
+
 }  // namespace
 }  // namespace dissodb

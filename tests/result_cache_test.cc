@@ -1,0 +1,101 @@
+// Workload-shared subplan result cache: hits, version invalidation, LRU.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/serve/result_cache.h"
+
+namespace dissodb {
+namespace {
+
+std::shared_ptr<const Rel> OneRowRel(double score) {
+  Rel r(std::vector<VarId>{0});
+  std::vector<Value> row = {Value::Int64(1)};
+  r.AddRow(row, score);
+  return std::make_shared<const Rel>(std::move(r));
+}
+
+TEST(ResultCacheTest, PutThenGetSameVersionHits) {
+  ResultCache cache(8);
+  cache.Put("k", 1, OneRowRel(0.5));
+  auto hit = cache.Get("k", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->Score(0), 0.5);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, VersionMismatchIsAMissAndDiscardsStaleEntry) {
+  ResultCache cache(8);
+  cache.Put("k", 1, OneRowRel(0.5));
+  EXPECT_EQ(cache.Get("k", 2), nullptr);  // newer database: stale
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  // The stale entry is gone even for the old version.
+  EXPECT_EQ(cache.Get("k", 1), nullptr);
+}
+
+TEST(ResultCacheTest, LruEvictionKeepsRecentlyUsedEntries) {
+  ResultCache cache(2);
+  cache.Put("a", 1, OneRowRel(0.1));
+  cache.Put("b", 1, OneRowRel(0.2));
+  ASSERT_NE(cache.Get("a", 1), nullptr);  // refresh a; b is now LRU
+  cache.Put("c", 1, OneRowRel(0.3));     // evicts b
+  EXPECT_NE(cache.Get("a", 1), nullptr);
+  EXPECT_EQ(cache.Get("b", 1), nullptr);
+  EXPECT_NE(cache.Get("c", 1), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, CapacityZeroDisablesStorage) {
+  ResultCache cache(0);
+  cache.Put("k", 1, OneRowRel(0.5));
+  EXPECT_EQ(cache.Get("k", 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKey) {
+  ResultCache cache(4);
+  cache.Put("k", 1, OneRowRel(0.5));
+  cache.Put("k", 3, OneRowRel(0.7));
+  auto hit = cache.Get("k", 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->Score(0), 0.7);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // Asking for any other version is a mismatch and discards the entry.
+  EXPECT_EQ(cache.Get("k", 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 100);
+        if (auto hit = cache.Get(key, 1)) {
+          (void)hit->Score(0);
+        } else {
+          cache.Put(key, 1, OneRowRel(0.5));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<size_t>(kThreads) * kOps);
+  EXPECT_LE(s.entries, 64u);
+}
+
+}  // namespace
+}  // namespace dissodb
