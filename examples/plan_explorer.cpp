@@ -112,11 +112,18 @@ int main(int argc, char** argv) {
                 s.batch_queries);
     std::printf("  plan cache:         %zu hits, %zu misses\n",
                 s.plan_cache_hits, s.plan_cache_misses);
-    std::printf("  result cache:       %zu hits, %zu misses, %zu evictions, "
-                "%zu entries\n",
+    std::printf("  result cache:       %zu hits, %zu misses, %zu in-flight "
+                "waits, %zu evictions, %zu entries\n",
                 s.result_cache_hits, s.result_cache_misses,
-                s.result_cache_evictions, s.result_cache_entries);
+                s.result_cache_in_flight_waits, s.result_cache_evictions,
+                s.result_cache_entries);
     std::printf("  scheduler tasks:    %zu\n", s.tasks_executed);
+    std::printf("  chunked scans:      %zu filtered (%zu parallel), "
+                "%zu chunks scanned, %zu pruned by zone maps, "
+                "%zu/%zu rows selected\n",
+                s.scans.filtered_scans, s.scans.parallel_scans,
+                s.scans.chunks_scanned, s.scans.chunks_pruned,
+                s.scans.rows_selected, s.scans.rows_scanned);
   }
   return 0;
 }

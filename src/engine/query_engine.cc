@@ -83,6 +83,7 @@ Result<QueryResult> QueryEngine::RunInternal(
   }
 
   Rel scores(std::vector<VarId>{});
+  ChunkedScanStats scan_stats;
   if ((*compiled)->single_plan) {
     PlanEvaluator ev(*db_, q);
     for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
@@ -94,9 +95,11 @@ Result<QueryResult> QueryEngine::RunInternal(
     if (!rel.ok()) return rel.status();
     result.nodes_evaluated = ev.nodes_evaluated();
     result.result_cache_hits = ev.result_cache_hits();
+    scan_stats = ev.scan_stats();
     scores = **rel;
   } else {
-    auto rel = EvaluatePlansSeparately(*db_, q, (*compiled)->plans, effective);
+    auto rel = EvaluatePlansSeparately(*db_, q, (*compiled)->plans, effective,
+                                       &scan_stats);
     if (!rel.ok()) return rel.status();
     for (const auto& p : (*compiled)->plans) {
       result.nodes_evaluated += MeasurePlan(p).tree_nodes;
@@ -104,6 +107,10 @@ Result<QueryResult> QueryEngine::RunInternal(
     scores = std::move(*rel);
   }
   result.answers = RankAnswers(scores);
+  {
+    std::lock_guard lock(scan_mu_);
+    scan_stats_.MergeFrom(scan_stats);
+  }
 
   queries_.fetch_add(1, std::memory_order_relaxed);
   return result;
@@ -241,12 +248,17 @@ EngineStats QueryEngine::stats() const {
     ResultCacheStats rc = result_cache_->stats();
     s.result_cache_hits = rc.hits;
     s.result_cache_misses = rc.misses;
+    s.result_cache_in_flight_waits = rc.in_flight_waits;
     s.result_cache_evictions = rc.evictions;
     s.result_cache_entries = rc.entries;
   }
   {
     std::shared_lock lock(mu_);
     if (scheduler_) s.tasks_executed = scheduler_->tasks_executed();
+  }
+  {
+    std::lock_guard lock(scan_mu_);
+    s.scans = scan_stats_;
   }
   return s;
 }

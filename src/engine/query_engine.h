@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 
 #include "src/common/status.h"
 #include "src/dissociation/propagation.h"
+#include "src/exec/operators.h"
 #include "src/exec/ranking.h"
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
@@ -65,10 +67,16 @@ struct EngineStats {
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
   size_t result_cache_hits = 0;
-  size_t result_cache_misses = 0;
+  size_t result_cache_misses = 0;  ///< actual computations (leaders)
+  /// Requests that waited on a concurrent computation of the same subplan
+  /// instead of duplicating it (in-flight dedup).
+  size_t result_cache_in_flight_waits = 0;
   size_t result_cache_evictions = 0;
   size_t result_cache_entries = 0;
   size_t tasks_executed = 0;  ///< scheduler tasks (query tasks + morsels)
+  /// Chunked-scan counters aggregated over every evaluated plan (zone-map
+  /// pruning effectiveness, chunk-parallel scan usage).
+  ChunkedScanStats scans;
 };
 
 struct QueryResult {
@@ -163,6 +171,8 @@ class QueryEngine {
   std::vector<std::string> cache_order_;  // insertion order (FIFO eviction)
   std::unique_ptr<ResultCache> result_cache_;
   std::unique_ptr<Scheduler> scheduler_;  // lazy; guarded by mu_
+  mutable std::mutex scan_mu_;            // guards scan_stats_
+  ChunkedScanStats scan_stats_;
   std::atomic<size_t> queries_{0};
   std::atomic<size_t> batch_queries_{0};
   std::atomic<size_t> cache_hits_{0};

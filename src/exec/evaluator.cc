@@ -6,6 +6,30 @@
 
 namespace dissodb {
 
+namespace {
+
+/// Ensures an acquired computation leadership is always resolved: if the
+/// evaluation exits early (a child's error status propagates), waiters are
+/// woken with nullptr instead of blocking forever.
+struct LeadGuard {
+  ResultCache* cache = nullptr;
+  const std::string* key = nullptr;
+  uint64_t version = 0;
+  bool resolved = true;
+
+  void Arm(ResultCache* c, const std::string* k, uint64_t v) {
+    cache = c;
+    key = k;
+    version = v;
+    resolved = false;
+  }
+  ~LeadGuard() {
+    if (!resolved) cache->Abandon(*key, version);
+  }
+};
+
+}  // namespace
+
 Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
     const PlanPtr& plan) {
   auto it = cache_.find(plan.get());
@@ -15,15 +39,35 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
   // atoms are all bound to catalog tables key into the shared result cache
   // by their query-independent fingerprint. Scan leaves are excluded — the
   // unfiltered ones are zero-copy already, and caching them would only
-  // evict real work.
+  // evict real work. Acquire() deduplicates concurrent evaluations of one
+  // fingerprint: exactly one requester computes (the leader), concurrent
+  // ones wait on its shared_future, so identical subplans never compute
+  // twice within a batch.
   std::string shared_key;
+  LeadGuard lead;
   if (result_cache_ != nullptr && plan->kind != PlanNode::Kind::kScan &&
       (PlanAtomSet(plan) & override_atoms_) == 0) {
     shared_key = PlanFingerprint(plan, q_, &fingerprint_memo_);
-    if (auto hit = result_cache_->Get(shared_key, db_version_)) {
+    ResultCache::Ticket ticket =
+        result_cache_->Acquire(shared_key, db_version_);
+    if (ticket.value != nullptr) {
       ++result_cache_hits_;
-      cache_.emplace(plan.get(), hit);
-      return hit;
+      cache_.emplace(plan.get(), ticket.value);
+      return ticket.value;
+    }
+    if (ticket.leader) {
+      lead.Arm(result_cache_, &shared_key, db_version_);
+    } else {
+      // Waiting is deadlock-free: the leader is already executing and only
+      // ever waits on strictly smaller fingerprints itself.
+      if (auto rel = ticket.pending.get()) {
+        ++result_cache_hits_;
+        cache_.emplace(plan.get(), rel);
+        return rel;
+      }
+      // Leader abandoned (its evaluation failed); compute locally without
+      // publishing.
+      shared_key.clear();
     }
   }
   ++nodes_evaluated_;
@@ -34,7 +78,8 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       const Table* override_table = nullptr;
       auto oit = overrides_.find(plan->atom_idx);
       if (oit != overrides_.end()) override_table = oit->second;
-      auto rel = ScanAtom(db_, q_, plan->atom_idx, override_table);
+      auto rel = ScanAtom(db_, q_, plan->atom_idx, override_table, scheduler_,
+                          &scan_stats_);
       if (!rel.ok()) return rel.status();
       result = std::make_shared<const Rel>(std::move(*rel));
       break;
@@ -99,8 +144,9 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       break;
     }
   }
-  if (!shared_key.empty()) {
-    result_cache_->Put(shared_key, db_version_, result);
+  if (!lead.resolved) {
+    result_cache_->Complete(shared_key, db_version_, result);
+    lead.resolved = true;
   }
   cache_.emplace(plan.get(), result);
   return result;
@@ -109,13 +155,15 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
 Result<Rel> EvaluatePlansSeparately(
     const Database& db, const ConjunctiveQuery& q,
     const std::vector<PlanPtr>& plans,
-    const std::unordered_map<int, const Table*>& overrides) {
+    const std::unordered_map<int, const Table*>& overrides,
+    ChunkedScanStats* scan_stats) {
   std::vector<Rel> results;
   for (const auto& p : plans) {
     PlanEvaluator ev(db, q);  // fresh evaluator: no cross-plan sharing
     for (const auto& [idx, table] : overrides) ev.SetAtomTable(idx, table);
     auto r = ev.Evaluate(p);
     if (!r.ok()) return r.status();
+    if (scan_stats != nullptr) scan_stats->MergeFrom(ev.scan_stats());
     results.push_back(**r);
   }
   return MinMerge(results);

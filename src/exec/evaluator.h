@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/exec/operators.h"
 #include "src/exec/rel.h"
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
@@ -60,8 +61,14 @@ class PlanEvaluator {
   /// Number of plan-node evaluations actually executed (cache misses).
   size_t nodes_evaluated() const { return nodes_evaluated_; }
 
-  /// Nodes served from the shared result cache instead of evaluated.
+  /// Nodes served from the shared result cache instead of evaluated —
+  /// plain hits plus results obtained by waiting on a concurrent
+  /// evaluation of the same fingerprint (in-flight dedup).
   size_t result_cache_hits() const { return result_cache_hits_; }
+
+  /// Chunked-scan counters accumulated over every ScanAtom this evaluator
+  /// executed (zone-map pruning, chunk morsels).
+  const ChunkedScanStats& scan_stats() const { return scan_stats_; }
 
  private:
   const Database& db_;
@@ -72,6 +79,7 @@ class PlanEvaluator {
   std::unordered_map<const PlanNode*, std::string> fingerprint_memo_;
   size_t nodes_evaluated_ = 0;
   size_t result_cache_hits_ = 0;
+  ChunkedScanStats scan_stats_;
   ResultCache* result_cache_ = nullptr;
   uint64_t db_version_ = 0;
   Scheduler* scheduler_ = nullptr;
@@ -79,12 +87,14 @@ class PlanEvaluator {
 
 /// Evaluates each plan independently (no sharing) and min-merges the
 /// per-answer scores: the naive "evaluate all minimal plans" strategy that
-/// Opt. 1-3 improve upon.
+/// Opt. 1-3 improve upon. `scan_stats`, if given, accumulates the chunked
+/// scan counters across all per-plan evaluators.
 Result<Rel> EvaluatePlansSeparately(const Database& db,
                                     const ConjunctiveQuery& q,
                                     const std::vector<PlanPtr>& plans,
                                     const std::unordered_map<int, const Table*>&
-                                        overrides = {});
+                                        overrides = {},
+                                    ChunkedScanStats* scan_stats = nullptr);
 
 }  // namespace dissodb
 

@@ -1,19 +1,78 @@
 // Flat open-addressing hash index for the vectorized operators.
 //
-// One allocation, power-of-two capacity, linear probing. A slot stores a
-// 64-bit key hash and the head of a chain of entries (rows or groups) that
-// share that hash; callers keep the chain links in their own `next` array
-// and compare actual key columns when walking a chain, so hash collisions
-// between distinct keys are handled by the caller's comparison, never by
-// the table. Sized once up front (entry count is known for build sides and
-// bounded for groupings), so there is no rehashing on the hot path.
+// One backing allocation, power-of-two capacity, linear probing. A slot
+// stores a 64-bit key hash and the head of a chain of entries (rows or
+// groups) that share that hash; callers keep the chain links in their own
+// `next` array and compare actual key columns when walking a chain, so
+// hash collisions between distinct keys are handled by the caller's
+// comparison, never by the table. Sized once up front (entry count is
+// known for build sides and bounded for groupings), so there is no
+// rehashing on the hot path.
+//
+// Key hashes are produced upstream by HashKeyColumns, which iterates the
+// chunked columns span-at-a-time (and, given a scheduler, fans out in
+// chunk-aligned morsels), so the flat index never touches column storage —
+// it only ever sees the precomputed 64-bit hashes.
+//
+// Backing stores are recycled through a thread-local scratch slot: a
+// query evaluates many operators, each of which would otherwise allocate,
+// fault in, and give back tens of megabytes (for large inputs glibc
+// serves these from fresh mmaps, so every operator call pays minor faults
+// and page zeroing for the whole table). Reuse keeps the hot index memory
+// resident. Only the heads need initialization (kNil is all-one bytes, a
+// single memset); hash slots are written when claimed, never read before.
 #ifndef DISSODB_EXEC_HASH_TABLE_H_
 #define DISSODB_EXEC_HASH_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <memory>
+#include <utility>
 
 namespace dissodb {
+
+namespace internal {
+
+/// One cached backing buffer per thread. Scheduler workers are long-lived,
+/// so per-thread reuse covers both the sequential path and morsel tasks;
+/// thread-locality makes it trivially race-free. Buffers above the cap are
+/// never cached (a one-off giant join must not pin ~cap bytes per worker
+/// thread for the rest of the process; the cap bounds steady-state scratch
+/// at num_threads * kMaxCachedBytes worst case).
+class IndexScratch {
+ public:
+  struct Buf {
+    std::unique_ptr<std::byte[]> mem;
+    size_t bytes = 0;
+  };
+
+  static constexpr size_t kMaxCachedBytes = size_t{64} << 20;
+
+  static Buf Acquire(size_t bytes) {
+    Buf& cached = Slot();
+    if (cached.bytes >= bytes) {
+      Buf out = std::move(cached);
+      cached.bytes = 0;
+      return out;
+    }
+    return Buf{std::unique_ptr<std::byte[]>(new std::byte[bytes]), bytes};
+  }
+
+  static void Release(Buf b) {
+    if (b.bytes == 0 || b.bytes > kMaxCachedBytes) return;
+    Buf& cached = Slot();
+    if (b.bytes > cached.bytes) cached = std::move(b);
+  }
+
+ private:
+  static Buf& Slot() {
+    static thread_local Buf slot;
+    return slot;
+  }
+};
+
+}  // namespace internal
 
 class FlatHashIndex {
  public:
@@ -25,9 +84,27 @@ class FlatHashIndex {
     size_t cap = 16;
     while (cap < 2 * n) cap <<= 1;
     mask_ = cap - 1;
-    hashes_.assign(cap, 0);
-    heads_.assign(cap, kNil);
+    buf_ = internal::IndexScratch::Acquire(cap * (sizeof(uint64_t) +
+                                                  sizeof(uint32_t)));
+    hashes_ = reinterpret_cast<uint64_t*>(buf_.mem.get());
+    heads_ = reinterpret_cast<uint32_t*>(hashes_ + cap);
+    // kNil is all-one bytes; hash slots are written when first claimed and
+    // never read before, so the heads memset is the entire initialization.
+    std::memset(heads_, 0xFF, cap * sizeof(uint32_t));
   }
+
+  ~FlatHashIndex() { internal::IndexScratch::Release(std::move(buf_)); }
+
+  FlatHashIndex(FlatHashIndex&& o) noexcept
+      : mask_(o.mask_),
+        buf_(std::move(o.buf_)),
+        hashes_(std::exchange(o.hashes_, nullptr)),
+        heads_(std::exchange(o.heads_, nullptr)) {
+    o.buf_.bytes = 0;
+  }
+  FlatHashIndex& operator=(FlatHashIndex&&) = delete;
+  FlatHashIndex(const FlatHashIndex&) = delete;
+  FlatHashIndex& operator=(const FlatHashIndex&) = delete;
 
   /// Returns a mutable reference to the chain head for hash `h`, claiming
   /// an empty slot if the hash is new (the returned head is then kNil and
@@ -56,8 +133,9 @@ class FlatHashIndex {
 
  private:
   size_t mask_;
-  std::vector<uint64_t> hashes_;
-  std::vector<uint32_t> heads_;
+  internal::IndexScratch::Buf buf_;
+  uint64_t* hashes_;
+  uint32_t* heads_;
 };
 
 }  // namespace dissodb

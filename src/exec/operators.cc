@@ -87,8 +87,63 @@ void ApplyAtomCheck(const Table& t, const AtomEqCheck& check,
   sel->resize(w);
 }
 
+namespace {
+
+/// Fills `sel` with the ascending global row ids of chunk `ci` that satisfy
+/// every check. The first check runs over chunk-local spans (flat fast path
+/// on uniform columns); the remaining checks compact the survivors through
+/// ApplyAtomCheck, so selection semantics cannot diverge from the
+/// row-at-a-time path.
+void FilterChunk(const Table& t, std::span<const AtomEqCheck> checks,
+                 size_t ci, std::vector<uint32_t>* sel) {
+  const AtomEqCheck& check = checks[0];
+  const Column& lhs = *t.col(check.pos);
+  const std::span<const uint64_t> lb = lhs.ChunkBits(ci);
+  const uint32_t base = static_cast<uint32_t>(lhs.ChunkBegin(ci));
+  if (check.other_pos >= 0) {
+    const Column& rhs = *t.col(check.other_pos);
+    if (lhs.uniform() && rhs.uniform() && lhs.type() == rhs.type()) {
+      const std::span<const uint64_t> rb = rhs.ChunkBits(ci);
+      for (size_t k = 0; k < lb.size(); ++k) {
+        if (lb[k] == rb[k]) sel->push_back(base + static_cast<uint32_t>(k));
+      }
+    } else {
+      for (size_t k = 0; k < lb.size(); ++k) {
+        const size_t g = base + k;
+        if (lhs.ElemEquals(g, rhs, g)) {
+          sel->push_back(static_cast<uint32_t>(g));
+        }
+      }
+    }
+  } else {
+    const uint64_t bits = check.constant.RawBits();
+    const ValueType type = check.constant.type();
+    if (lhs.uniform()) {
+      if (lhs.type() == type) {
+        for (size_t k = 0; k < lb.size(); ++k) {
+          if (lb[k] == bits) sel->push_back(base + static_cast<uint32_t>(k));
+        }
+      }
+      // Uniform column of another type: no row can match.
+    } else {
+      for (size_t k = 0; k < lb.size(); ++k) {
+        const size_t g = base + k;
+        if (lb[k] == bits && lhs.TypeAt(g) == type) {
+          sel->push_back(static_cast<uint32_t>(g));
+        }
+      }
+    }
+  }
+  for (size_t c = 1; c < checks.size(); ++c) {
+    ApplyAtomCheck(t, checks[c], sel);
+  }
+}
+
+}  // namespace
+
 Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
-                     int atom_idx, const Table* table) {
+                     int atom_idx, const Table* table, Scheduler* scheduler,
+                     ChunkedScanStats* stats) {
   const Atom& atom = q.atom(atom_idx);
   if (table == nullptr) {
     auto t = db.GetTable(atom.relation);
@@ -122,20 +177,76 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                             table->weights(), n);
   }
 
-  std::vector<uint32_t> sel(n);
-  std::iota(sel.begin(), sel.end(), 0u);
-  for (const auto& c : checks) ApplyAtomCheck(*table, c, &sel);
+  // Filtered scan, chunk at a time. All columns of a table append in
+  // lockstep, so they share one chunk geometry; read it off the first
+  // checked column.
+  const Column& layout = *table->col(checks[0].pos);
+  const size_t num_chunks = layout.num_chunks();
+
+  // Zone-map pruning: a constant check on a type-uniform column rules out
+  // every chunk whose [min, max] payload range (unsigned order — any total
+  // order is sound for equality) excludes the constant.
+  std::vector<uint8_t> prune(num_chunks, 0);
+  for (const auto& check : checks) {
+    if (check.other_pos >= 0) continue;
+    const Column& col = *table->col(check.pos);
+    if (!col.uniform()) continue;
+    if (n > 0 && check.constant.type() != col.type()) {
+      prune.assign(num_chunks, 1);  // type mismatch: nothing can match
+      break;
+    }
+    const uint64_t cbits = check.constant.RawBits();
+    for (size_t ci = 0; ci < num_chunks; ++ci) {
+      if (cbits < col.ChunkMinBits(ci) || cbits > col.ChunkMaxBits(ci)) {
+        prune[ci] = 1;
+      }
+    }
+  }
+
+  // One selection vector per surviving chunk; concatenating them in chunk
+  // order reproduces the ascending sequential selection exactly.
+  std::vector<std::vector<uint32_t>> chunk_sel(num_chunks);
+  const bool parallel =
+      scheduler != nullptr && num_chunks >= 2 && n >= 2 * kMorselRows;
+  auto scan_range = [&](size_t lo, size_t hi) {
+    for (size_t ci = lo; ci < hi; ++ci) {
+      if (!prune[ci]) FilterChunk(*table, checks, ci, &chunk_sel[ci]);
+    }
+  };
+  if (parallel) {
+    scheduler->ParallelFor(0, num_chunks, 1, scan_range);
+  } else {
+    scan_range(0, num_chunks);
+  }
+
+  size_t total = 0;
+  for (const auto& cs : chunk_sel) total += cs.size();
+  std::vector<uint32_t> sel;
+  sel.reserve(total);
+  for (const auto& cs : chunk_sel) sel.insert(sel.end(), cs.begin(), cs.end());
+
+  if (stats != nullptr) {
+    ++stats->filtered_scans;
+    if (parallel) ++stats->parallel_scans;
+    for (size_t ci = 0; ci < num_chunks; ++ci) {
+      if (prune[ci]) {
+        ++stats->chunks_pruned;
+      } else {
+        ++stats->chunks_scanned;
+        stats->rows_scanned += layout.ChunkSize(ci);
+      }
+    }
+    stats->rows_selected += total;
+  }
 
   std::vector<ColumnPtr> cols;
   cols.reserve(vars.size());
   for (size_t i = 0; i < vars.size(); ++i) {
-    auto col = std::make_shared<Column>();
-    col->AppendGather(*table->col(first_pos[i]), sel);
-    cols.push_back(std::move(col));
+    cols.push_back(std::make_shared<Column>(
+        Column::Gathered(*table->col(first_pos[i]), sel, scheduler)));
   }
-  auto scores = std::make_shared<std::vector<double>>();
-  scores->reserve(sel.size());
-  for (uint32_t r : sel) scores->push_back(table->Prob(r));
+  auto scores = std::make_shared<std::vector<double>>(
+      GatherDoubles(*table->weights(), sel, scheduler));
   return Rel::FromColumns(std::move(vars), std::move(cols), std::move(scores),
                           sel.size());
 }
@@ -206,16 +317,16 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
     probe_key.push_back(probe.ColIndex(v));
   }
 
-  // Build: flat table(s) over the batch-hashed build keys; duplicate keys
-  // chain through `next`.
+  // Build: flat table(s) over the batch-hashed build keys (hashing fans
+  // out in chunk-aligned morsels); duplicate keys chain through `next`.
   const size_t bn = build.NumRows();
-  std::vector<uint64_t> bh = HashKeyColumns(build, build_key);
+  std::vector<uint64_t> bh = HashKeyColumns(build, build_key, scheduler);
   JoinBuildIndex index = BuildJoinIndex(bh, scheduler);
 
   // Probe: batch-hash, then emit matching (build, probe) row pairs. Each
   // morsel fills its own pair buffers; concatenating them in morsel order
   // reproduces the sequential probe-row order exactly.
-  std::vector<uint64_t> ph = HashKeyColumns(probe, probe_key);
+  std::vector<uint64_t> ph = HashKeyColumns(probe, probe_key, scheduler);
   const size_t pn = probe.NumRows();
   auto probe_range = [&](size_t lo, size_t hi, std::vector<uint32_t>* bs,
                          std::vector<uint32_t>* ps) {
@@ -256,14 +367,11 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
   std::vector<VarId> out_vars = MaskToVars(build.var_mask() | probe.var_mask());
   std::vector<ColumnPtr> cols(out_vars.size());
   auto fill_col = [&](size_t i) {
-    auto col = std::make_shared<Column>();
     int bc = build.ColIndex(out_vars[i]);
-    if (bc >= 0) {
-      col->AppendGather(*build.col(bc), build_sel);
-    } else {
-      col->AppendGather(*probe.col(probe.ColIndex(out_vars[i])), probe_sel);
-    }
-    cols[i] = std::move(col);
+    const Column& src =
+        bc >= 0 ? *build.col(bc) : *probe.col(probe.ColIndex(out_vars[i]));
+    cols[i] = std::make_shared<Column>(
+        Column::Gathered(src, bc >= 0 ? build_sel : probe_sel, scheduler));
   };
   auto scores = std::make_shared<std::vector<double>>();
   auto fill_scores = [&] {
@@ -343,7 +451,7 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
   for (VarId v : keep_vars) key_pos.push_back(in.ColIndex(v));
 
   const size_t n = in.NumRows();
-  std::vector<uint64_t> h = HashKeyColumns(in, key_pos);
+  std::vector<uint64_t> h = HashKeyColumns(in, key_pos, scheduler);
 
   std::vector<uint32_t> group_rep;  // representative input row per group
   std::vector<double> acc;          // folded score per group
@@ -388,9 +496,8 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
   std::vector<ColumnPtr> cols;
   cols.reserve(keep_vars.size());
   for (int c : key_pos) {
-    auto col = std::make_shared<Column>();
-    col->AppendGather(*in.col(c), group_rep);
-    cols.push_back(std::move(col));
+    cols.push_back(std::make_shared<Column>(
+        Column::Gathered(*in.col(c), group_rep, scheduler)));
   }
   auto scores = std::make_shared<std::vector<double>>(std::move(acc));
   return Rel::FromColumns(std::move(keep_vars), std::move(cols),

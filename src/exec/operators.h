@@ -37,12 +37,43 @@ AtomBinding BindAtom(const Atom& atom);
 void ApplyAtomCheck(const Table& t, const AtomEqCheck& check,
                     std::vector<uint32_t>* sel);
 
+/// Observability counters for the chunked scan path, accumulated per
+/// evaluator and surfaced through EngineStats / plan_explorer.
+struct ChunkedScanStats {
+  size_t filtered_scans = 0;   ///< scans that ran the filtered path
+  size_t parallel_scans = 0;   ///< ... of which fanned out chunk morsels
+  size_t chunks_scanned = 0;   ///< chunks actually filtered
+  size_t chunks_pruned = 0;    ///< chunks skipped entirely via zone maps
+  size_t rows_scanned = 0;     ///< rows in the scanned (non-pruned) chunks
+  size_t rows_selected = 0;    ///< rows surviving the selection
+
+  void MergeFrom(const ChunkedScanStats& o) {
+    filtered_scans += o.filtered_scans;
+    parallel_scans += o.parallel_scans;
+    chunks_scanned += o.chunks_scanned;
+    chunks_pruned += o.chunks_pruned;
+    rows_scanned += o.rows_scanned;
+    rows_selected += o.rows_selected;
+  }
+};
+
 /// Scans the table bound to atom `atom_idx`, applying constant selections
 /// and repeated-variable equalities, and emitting the atom's distinct
 /// variables as columns. `table` overrides the catalog binding (used for
 /// per-query selections and semi-join-reduced inputs).
+///
+/// The unfiltered scan is zero-copy. The filtered scan is chunk-at-a-time:
+/// per-chunk zone maps prune chunks that cannot contain a constant
+/// predicate's value, each surviving chunk yields one selection vector,
+/// and — with a scheduler and a large enough table — chunks are filtered
+/// and output columns assembled in parallel. Per-chunk selections always
+/// concatenate in chunk order, so the emitted Rel is bit-identical (row
+/// order included) with or without a scheduler. `stats`, if given,
+/// accumulates the chunk counters.
 Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
-                     int atom_idx, const Table* table = nullptr);
+                     int atom_idx, const Table* table = nullptr,
+                     Scheduler* scheduler = nullptr,
+                     ChunkedScanStats* stats = nullptr);
 
 /// Natural hash join; scores multiply.
 ///

@@ -23,10 +23,9 @@ std::shared_ptr<const Rel> ResultCache::Get(const std::string& key,
   return it->second.rel;
 }
 
-void ResultCache::Put(const std::string& key, uint64_t db_version,
-                      std::shared_ptr<const Rel> rel) {
+void ResultCache::PutLocked(const std::string& key, uint64_t db_version,
+                            std::shared_ptr<const Rel> rel) {
   if (capacity_ == 0) return;
-  std::lock_guard lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second.db_version = db_version;
@@ -43,10 +42,87 @@ void ResultCache::Put(const std::string& key, uint64_t db_version,
   }
 }
 
+void ResultCache::Put(const std::string& key, uint64_t db_version,
+                      std::shared_ptr<const Rel> rel) {
+  std::lock_guard lock(mu_);
+  PutLocked(key, db_version, std::move(rel));
+}
+
+ResultCache::Ticket ResultCache::Acquire(const std::string& key,
+                                         uint64_t db_version) {
+  Ticket ticket;
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second.db_version == db_version) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++hits_;
+      ticket.value = it->second.rel;
+      return ticket;
+    }
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+    ++evictions_;
+  }
+  if (capacity_ == 0) {
+    // Cache disabled: every requester computes (and Put drops), exactly the
+    // pre-dedup disabled semantics.
+    ++misses_;
+    ticket.leader = true;
+    return ticket;
+  }
+  const std::string fk = InFlightKey(key, db_version);
+  auto fit = in_flight_.find(fk);
+  if (fit != in_flight_.end()) {
+    ++in_flight_waits_;
+    ticket.pending = fit->second->future;
+    return ticket;
+  }
+  auto entry = std::make_shared<InFlight>();
+  entry->future = entry->promise.get_future().share();
+  in_flight_.emplace(fk, std::move(entry));
+  ++misses_;
+  ticket.leader = true;
+  return ticket;
+}
+
+void ResultCache::Complete(const std::string& key, uint64_t db_version,
+                           std::shared_ptr<const Rel> rel) {
+  std::shared_ptr<InFlight> entry;
+  {
+    std::lock_guard lock(mu_);
+    // Publish before retiring the in-flight entry: an Acquire that misses
+    // the in-flight map must find the stored value.
+    PutLocked(key, db_version, rel);
+    auto it = in_flight_.find(InFlightKey(key, db_version));
+    if (it != in_flight_.end()) {
+      entry = std::move(it->second);
+      in_flight_.erase(it);
+    }
+  }
+  // Wake waiters outside the lock; they hold their own future copies.
+  if (entry) entry->promise.set_value(std::move(rel));
+}
+
+void ResultCache::Abandon(const std::string& key, uint64_t db_version) {
+  std::shared_ptr<InFlight> entry;
+  {
+    std::lock_guard lock(mu_);
+    auto it = in_flight_.find(InFlightKey(key, db_version));
+    if (it != in_flight_.end()) {
+      entry = std::move(it->second);
+      in_flight_.erase(it);
+    }
+  }
+  if (entry) entry->promise.set_value(nullptr);
+}
+
 void ResultCache::Clear() {
   std::lock_guard lock(mu_);
   map_.clear();
   lru_.clear();
+  // In-flight computations are left to their leaders: Complete/Abandon
+  // still finds (or tolerates missing) entries and waiters still wake.
 }
 
 ResultCacheStats ResultCache::stats() const {
@@ -54,6 +130,7 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.in_flight_waits = in_flight_waits_;
   s.evictions = evictions_;
   s.entries = map_.size();
   return s;

@@ -6,13 +6,20 @@
 // entry, so mutating the database can never serve stale results.
 //
 // Values are shared_ptr<const Rel>: immutable, so a hit is a pointer copy
-// and concurrent readers need no further synchronization. Two threads
-// racing to fill the same key both compute (benign duplicated work) and the
-// second Put is a no-op refresh.
+// and concurrent readers need no further synchronization.
+//
+// In-flight deduplication: concurrent requesters of the same missing key
+// never compute twice. Acquire() hands exactly one caller a leader ticket
+// (it computes and must Complete() or Abandon()); every concurrent
+// requester gets a shared_future tied to that computation and waits instead
+// of recomputing. Waiting is deadlock-free on the work-sharing Scheduler:
+// a leader is by definition already running, and leaders only ever wait on
+// strictly smaller subplan fingerprints, so wait chains cannot cycle.
 #ifndef DISSODB_SERVE_RESULT_CACHE_H_
 #define DISSODB_SERVE_RESULT_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -25,15 +32,28 @@ namespace dissodb {
 
 struct ResultCacheStats {
   size_t hits = 0;
-  size_t misses = 0;
+  size_t misses = 0;  ///< leader acquisitions, i.e. actual computations
+  size_t in_flight_waits = 0;  ///< requests that waited on a leader instead
   size_t evictions = 0;  ///< capacity evictions + stale-version discards
   size_t entries = 0;
 };
 
 class ResultCache {
  public:
+  /// Outcome of Acquire(): exactly one of three states.
+  ///  - `value` non-null: cache hit, use it.
+  ///  - `leader` true: the caller must compute and then Complete()
+  ///    (or Abandon() on failure) for (key, db_version).
+  ///  - otherwise: another thread is computing; wait on `pending`. A null
+  ///    future result means the leader abandoned — compute locally.
+  struct Ticket {
+    std::shared_ptr<const Rel> value;
+    bool leader = false;
+    std::shared_future<std::shared_ptr<const Rel>> pending;
+  };
+
   /// Holds at most `capacity` relations (LRU eviction); 0 disables the
-  /// cache entirely (Get always misses, Put drops).
+  /// cache entirely (Get always misses, Put drops, Acquire always leads).
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached relation for `key` computed at `db_version`, or
@@ -43,6 +63,19 @@ class ResultCache {
   /// Inserts (or refreshes) `rel` for `key` at `db_version`.
   void Put(const std::string& key, uint64_t db_version,
            std::shared_ptr<const Rel> rel);
+
+  /// Hit / lead / wait decision for one lookup (see Ticket). Leader tickets
+  /// count as misses; waiter tickets count as in_flight_waits.
+  Ticket Acquire(const std::string& key, uint64_t db_version);
+
+  /// Leader publication: stores `rel`, wakes every waiter with it, and
+  /// retires the in-flight entry.
+  void Complete(const std::string& key, uint64_t db_version,
+                std::shared_ptr<const Rel> rel);
+
+  /// Leader failure: wakes every waiter with nullptr (they compute
+  /// locally) and retires the in-flight entry.
+  void Abandon(const std::string& key, uint64_t db_version);
 
   void Clear();
   ResultCacheStats stats() const;
@@ -55,12 +88,30 @@ class ResultCache {
     std::list<std::string>::iterator lru_pos;
   };
 
+  struct InFlight {
+    std::promise<std::shared_ptr<const Rel>> promise;
+    std::shared_future<std::shared_ptr<const Rel>> future;
+  };
+
+  /// In-flight computations are keyed per (key, version): a mid-batch
+  /// database mutation starts an independent computation rather than
+  /// handing waiters a stale-version result.
+  static std::string InFlightKey(const std::string& key, uint64_t db_version) {
+    return key + '@' + std::to_string(db_version);
+  }
+
+  /// Put() body; caller holds mu_.
+  void PutLocked(const std::string& key, uint64_t db_version,
+                 std::shared_ptr<const Rel> rel);
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> map_;
   std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t in_flight_waits_ = 0;
   size_t evictions_ = 0;
 };
 

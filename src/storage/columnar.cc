@@ -1,50 +1,225 @@
 #include "src/storage/columnar.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "src/serve/scheduler.h"
 
 namespace dissodb {
 
+namespace {
+
+/// Large transient buffers (hash-index stores, growing group vectors) are
+/// allocated and freed once per operator call. glibc's mmap threshold only
+/// ratchets up when big flat blocks are freed back; chunked column storage
+/// never frees anything larger than one chunk, so without tuning every
+/// operator call pays fresh mmaps, minor faults and page zeroing for tens
+/// of megabytes of scratch. Raise the thresholds once (standard database-
+/// engine practice) so operator scratch stays in the heap and is reused
+/// across calls. Explicit MALLOC_* environment overrides win.
+[[maybe_unused]] const bool g_malloc_tuned = [] {
+#if defined(__GLIBC__) && defined(M_MMAP_THRESHOLD)
+  if (std::getenv("MALLOC_MMAP_THRESHOLD_") == nullptr &&
+      std::getenv("MALLOC_TRIM_THRESHOLD_") == nullptr) {
+    mallopt(M_MMAP_THRESHOLD, 32 << 20);
+    mallopt(M_TRIM_THRESHOLD, 32 << 20);
+  }
+#endif
+  return true;
+}();
+
+/// Test-overridable default chunk capacity. Read once per Column
+/// construction (each column carries its own shift/mask), so changing it
+/// never affects existing columns.
+std::atomic<size_t> g_default_chunk_capacity{Column::kDefaultChunkCapacity};
+
+uint32_t ShiftFor(size_t cap) {
+  assert(cap >= 2 && (cap & (cap - 1)) == 0);
+  uint32_t s = 0;
+  while ((size_t{1} << s) < cap) ++s;
+  return s;
+}
+
+/// Raw base pointer of every chunk of `c`, so gather loops pay one indexed
+/// load per element instead of a shared_ptr dereference.
+std::vector<const uint64_t*> ChunkBases(const Column& c) {
+  std::vector<const uint64_t*> bases(c.num_chunks());
+  for (size_t ci = 0; ci < c.num_chunks(); ++ci) {
+    bases[ci] = c.ChunkBits(ci).data();
+  }
+  return bases;
+}
+
+}  // namespace
+
+void Column::SetDefaultChunkCapacityForTesting(size_t cap) {
+  assert(cap >= 2 && (cap & (cap - 1)) == 0);
+  g_default_chunk_capacity.store(cap, std::memory_order_relaxed);
+}
+
+size_t Column::default_chunk_capacity() {
+  return g_default_chunk_capacity.load(std::memory_order_relaxed);
+}
+
+Column::Column() {
+  const size_t cap = default_chunk_capacity();
+  chunk_shift_ = ShiftFor(cap);
+  chunk_mask_ = cap - 1;
+}
+
+Column::Column(ValueType type) : Column() { type_ = type; }
+
+void Column::Reserve(size_t n) {
+  if (n <= size_ || chunks_.empty()) return;
+  ChunkPtr& tail = chunks_.back();
+  // Reserving is an optimization only: never detach a shared tail (the
+  // eventual append will), and a sealed tail has nothing to grow.
+  if (tail.use_count() > 1 || tail->bits.size() > chunk_mask_) return;
+  tail->bits.reserve(
+      std::min(chunk_capacity(), tail->bits.size() + (n - size_)));
+  if (tagged_) tail->tags.reserve(tail->bits.capacity());
+  SyncTailBase();
+}
+
 void Column::Append(Value v) {
-  if (bits_.empty() && tags_.empty()) {
+  if (size_ == 0 && !tagged_) {
     type_ = v.type();
-  } else if (v.type() != type_ && tags_.empty()) {
+  } else if (v.type() != type_ && !tagged_) {
     Demote(v.type());
   }
-  if (!tags_.empty()) tags_.push_back(static_cast<uint8_t>(v.type()));
-  bits_.push_back(v.RawBits());
+  Chunk* tail = MutableTail();
+  if (tagged_) tail->tags.push_back(static_cast<uint8_t>(v.type()));
+  const uint64_t bits = v.RawBits();
+  tail->bits.push_back(bits);
+  if (bits < tail->min_bits) tail->min_bits = bits;
+  if (bits > tail->max_bits) tail->max_bits = bits;
+  ++size_;
+  SyncTailBase();
 }
 
 void Column::Demote(ValueType incoming) {
   (void)incoming;
-  tags_.assign(bits_.size(), static_cast<uint8_t>(type_));
+  tagged_ = true;
+  for (ChunkPtr& c : chunks_) {
+    if (c.use_count() > 1) c = std::make_shared<Chunk>(*c);
+    c->tags.assign(c->bits.size(), static_cast<uint8_t>(type_));
+  }
+  RebuildBases();
 }
 
 void Column::AppendGather(const Column& src, std::span<const uint32_t> idx) {
-  if (bits_.empty() && tags_.empty()) type_ = src.type_;
-  bits_.reserve(bits_.size() + idx.size());
-  if (src.tags_.empty() && tags_.empty() && src.type_ == type_) {
-    for (uint32_t k : idx) bits_.push_back(src.bits_[k]);
+  if (size_ == 0 && !tagged_) type_ = src.type_;
+  if (src.uniform() && uniform() && src.type_ == type_) {
+    // Flat fast path: fill the tail chunk in runs bounded by its remaining
+    // room, reading src through per-chunk base pointers.
+    const std::vector<const uint64_t*> bases = ChunkBases(src);
+    size_t done = 0;
+    while (done < idx.size()) {
+      Chunk* tail = MutableTail();
+      const size_t take =
+          std::min(chunk_capacity() - tail->bits.size(), idx.size() - done);
+      tail->bits.reserve(tail->bits.size() + take);
+      uint64_t mn = tail->min_bits;
+      uint64_t mx = tail->max_bits;
+      for (size_t k = done; k < done + take; ++k) {
+        const uint32_t r = idx[k];
+        const uint64_t b = bases[r >> src.chunk_shift_][r & src.chunk_mask_];
+        tail->bits.push_back(b);
+        mn = std::min(mn, b);
+        mx = std::max(mx, b);
+      }
+      tail->min_bits = mn;
+      tail->max_bits = mx;
+      size_ += take;
+      done += take;
+      SyncTailBase();
+    }
     return;
   }
   // Mixed-type fallback.
   for (uint32_t k : idx) Append(src.Get(k));
 }
 
-void Column::HashCombineInto(std::span<uint64_t> out) const {
-  assert(out.size() == bits_.size());
-  if (tags_.empty()) {
-    const uint64_t tag_mix = static_cast<uint64_t>(type_) * 0x100000001b3ULL;
-    for (size_t i = 0; i < bits_.size(); ++i) {
-      size_t h = out[i];
-      HashCombine(&h, Mix64(tag_mix ^ bits_[i]));
-      out[i] = h;
+Column Column::Gathered(const Column& src, std::span<const uint32_t> sel,
+                        Scheduler* scheduler) {
+  Column out;
+  if (!src.uniform()) {
+    out.AppendGather(src, sel);
+    return out;
+  }
+  out.type_ = src.type_;
+  const size_t n = sel.size();
+  if (n == 0) return out;
+  const size_t cap = out.chunk_capacity();
+  out.chunks_.resize((n + cap - 1) / cap);
+  out.size_ = n;
+
+  const std::vector<const uint64_t*> bases = ChunkBases(src);
+  auto fill = [&](size_t lo, size_t hi) {
+    // Each task owns the single output chunk its range covers (ranges are
+    // chunk-aligned), so parallel tasks write disjoint chunks.
+    auto chunk = std::make_shared<Chunk>();
+    chunk->bits.reserve(hi - lo);
+    uint64_t mn = ~uint64_t{0};
+    uint64_t mx = 0;
+    for (size_t k = lo; k < hi; ++k) {
+      const uint32_t r = sel[k];
+      const uint64_t b = bases[r >> src.chunk_shift_][r & src.chunk_mask_];
+      chunk->bits.push_back(b);
+      mn = std::min(mn, b);
+      mx = std::max(mx, b);
     }
+    chunk->min_bits = mn;
+    chunk->max_bits = mx;
+    out.chunks_[lo / cap] = std::move(chunk);
+  };
+  if (scheduler != nullptr && n >= 2 * cap) {
+    scheduler->ParallelFor(0, n, cap, fill);
   } else {
-    for (size_t i = 0; i < bits_.size(); ++i) {
-      size_t h = out[i];
-      HashCombine(&h, HashAt(i));
-      out[i] = h;
+    for (size_t lo = 0; lo < n; lo += cap) fill(lo, std::min(lo + cap, n));
+  }
+  out.RebuildBases();
+  return out;
+}
+
+void Column::HashCombineInto(std::span<uint64_t> out) const {
+  assert(out.size() == size_);
+  HashCombineRange(0, out);
+}
+
+void Column::HashCombineRange(size_t begin, std::span<uint64_t> out) const {
+  assert(begin + out.size() <= size_);
+  const uint64_t tag_mix = static_cast<uint64_t>(type_) * 0x100000001b3ULL;
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t g = begin + done;
+    const size_t ci = g >> chunk_shift_;
+    const size_t local = g & chunk_mask_;
+    const Chunk& chunk = *chunks_[ci];
+    const size_t take = std::min(chunk.bits.size() - local, out.size() - done);
+    const uint64_t* bits = chunk.bits.data() + local;
+    if (!tagged_) {
+      for (size_t k = 0; k < take; ++k) {
+        size_t h = out[done + k];
+        HashCombine(&h, Mix64(tag_mix ^ bits[k]));
+        out[done + k] = h;
+      }
+    } else {
+      const uint8_t* tags = chunk.tags.data() + local;
+      for (size_t k = 0; k < take; ++k) {
+        size_t h = out[done + k];
+        HashCombine(&h, Mix64(static_cast<uint64_t>(tags[k]) *
+                                  0x100000001b3ULL ^
+                              bits[k]));
+        out[done + k] = h;
+      }
     }
+    done += take;
   }
 }
 
@@ -69,9 +244,39 @@ void ColumnarRows::GatherImpl(const ColumnarRows& src,
 }
 
 std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
-                                     std::span<const int> key_cols) {
-  std::vector<uint64_t> out(rows.NumRows(), 0x2545f491ULL);
-  for (int c : key_cols) rows.col(c)->HashCombineInto(out);
+                                     std::span<const int> key_cols,
+                                     Scheduler* scheduler) {
+  const size_t n = rows.NumRows();
+  std::vector<uint64_t> out(n, 0x2545f491ULL);
+  if (key_cols.empty()) return out;
+  const size_t grain = rows.col(key_cols[0])->chunk_capacity();
+  if (scheduler != nullptr && n >= 2 * grain) {
+    // Chunk-aligned morsels: every task hashes chunk-local spans of each
+    // key column into its disjoint slice of `out`.
+    scheduler->ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+      for (int c : key_cols) {
+        rows.col(c)->HashCombineRange(lo, std::span(out.data() + lo, hi - lo));
+      }
+    });
+  } else {
+    for (int c : key_cols) rows.col(c)->HashCombineInto(out);
+  }
+  return out;
+}
+
+std::vector<double> GatherDoubles(const std::vector<double>& w,
+                                  std::span<const uint32_t> sel,
+                                  Scheduler* scheduler) {
+  std::vector<double> out(sel.size());
+  const size_t grain = Column::default_chunk_capacity();
+  auto fill = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) out[k] = w[sel[k]];
+  };
+  if (scheduler != nullptr && sel.size() >= 2 * grain) {
+    scheduler->ParallelFor(0, sel.size(), grain, fill);
+  } else {
+    fill(0, sel.size());
+  }
   return out;
 }
 

@@ -1,25 +1,40 @@
 // Columnar row storage shared by base tables and intermediate relations.
 //
-// A Column is a typed vector of 64-bit payloads (int64 / double bit pattern /
-// string dictionary code) — the Value tag is stored once per column, not per
-// element, so scans, hashes and key comparisons run over flat uint64 arrays.
-// Columns are held by shared_ptr and shared zero-copy between tables and the
-// relations derived from them (scans, pass-through projections, shallow
-// copies); mutation goes through copy-on-write accessors, so sharing is safe.
+// A Column is a typed sequence of 64-bit payloads (int64 / double bit
+// pattern / string dictionary code) — the Value tag is stored once per
+// column, not per element, so scans, hashes and key comparisons run over
+// flat uint64 arrays. Physically a column is partitioned into fixed-size
+// **chunks** (64Ki payloads by default) held by shared_ptr:
 //
-// Thread safety: the copy-on-write check (`use_count() > 1`) synchronizes
-// correctly as long as no thread copies a ColumnarRows object *while*
-// another thread mutates that same object — distinct objects sharing
-// columns may be copied/read/mutated concurrently without restriction (two
-// concurrent mutators each observe a count > 1 and detach their own copy).
-// The serving layer upholds the contract structurally: relations published
-// to the shared ResultCache are `shared_ptr<const Rel>` and never mutated,
-// and morsel-parallel operators write only to task-private buffers. The CI
-// tsan job runs the engine/serve tests under -fsanitize=thread to keep
-// this honest.
+//   - Every chunk except the last is full ("sealed") and immutable; only
+//     the tail chunk ever grows. Index arithmetic is a shift and a mask.
+//   - Copies are shallow: copying a Column copies the chunk-pointer vector
+//     and shares every payload. Appending to a copy detaches only the tail
+//     chunk being written (copy-on-write at chunk granularity); sealed
+//     chunks stay shared between Table, Rel and ResultCache entries.
+//   - Each chunk carries a zone map (min/max of its raw payloads, unsigned
+//     order) maintained incrementally on append. Chunks are append-only,
+//     so the zone map is always exact; scans use it to skip chunks that
+//     cannot contain a constant predicate's value.
+//   - Chunk boundaries are the natural morsel boundaries: the parallel
+//     scan, gather and batch-hash paths fan out one task per chunk and
+//     concatenate in chunk order, which keeps them bit-identical to the
+//     sequential paths.
+//
+// Thread safety: the copy-on-write checks (`use_count() > 1` on columns
+// and chunks) synchronize correctly as long as no thread copies a
+// ColumnarRows object *while* another thread mutates that same object —
+// distinct objects sharing columns/chunks may be copied/read/mutated
+// concurrently without restriction (two concurrent mutators each observe
+// a count > 1 and detach their own copy). The serving layer upholds the
+// contract structurally: relations published to the shared ResultCache are
+// `shared_ptr<const Rel>` and never mutated, and morsel-parallel operators
+// write only to task-private buffers or disjoint chunks. The CI tsan job
+// runs the engine/serve tests under -fsanitize=thread to keep this honest.
 #ifndef DISSODB_STORAGE_COLUMNAR_H_
 #define DISSODB_STORAGE_COLUMNAR_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -30,64 +45,169 @@
 
 namespace dissodb {
 
-/// \brief One typed column: a flat array of 64-bit payloads.
+class Scheduler;  // src/serve/scheduler.h
+
+/// \brief One typed column: chunked arrays of 64-bit payloads.
 ///
 /// Columns are type-uniform in the common case. If values of a different
 /// type are appended (possible only through untyped builder paths), the
-/// column lazily materializes a parallel per-element tag array; all
+/// column lazily materializes parallel per-element tag arrays; all
 /// accessors remain correct, only the flat fast paths degrade.
 class Column {
  public:
-  Column() = default;
-  explicit Column(ValueType type) : type_(type) {}
+  /// Default payloads per chunk: 64Ki (512 KiB of payload). Must be a
+  /// power of two. Tests shrink it (SetDefaultChunkCapacityForTesting) to
+  /// exercise chunk seams on small inputs; each column captures the
+  /// default at construction, so mixing capacities is safe.
+  static constexpr size_t kDefaultChunkCapacity = size_t{1} << 16;
 
-  size_t size() const { return bits_.size(); }
+  /// Overrides the capacity adopted by subsequently constructed columns.
+  /// Test-only; `cap` must be a power of two >= 2.
+  static void SetDefaultChunkCapacityForTesting(size_t cap);
+  static size_t default_chunk_capacity();
+
+  /// One fixed-capacity payload partition. Sealed (full) chunks are
+  /// immutable and shared freely; min/max form the zone map (raw-payload
+  /// unsigned order — any total order is sound for equality pruning).
+  struct Chunk {
+    std::vector<uint64_t> bits;
+    std::vector<uint8_t> tags;  // empty while the column is type-uniform
+    uint64_t min_bits = ~uint64_t{0};
+    uint64_t max_bits = 0;
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+
+  Column();
+  explicit Column(ValueType type);
+
+  size_t size() const { return size_; }
   ValueType type() const { return type_; }
-  bool uniform() const { return tags_.empty(); }
+  bool uniform() const { return !tagged_; }
 
-  uint64_t RawBits(size_t i) const { return bits_[i]; }
+  // -- Chunk geometry -------------------------------------------------------
+
+  size_t chunk_capacity() const { return chunk_mask_ + 1; }
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t ChunkSize(size_t ci) const { return chunks_[ci]->bits.size(); }
+  /// First global row of chunk `ci`.
+  size_t ChunkBegin(size_t ci) const { return ci << chunk_shift_; }
+  std::span<const uint64_t> ChunkBits(size_t ci) const {
+    return chunks_[ci]->bits;
+  }
+  /// Empty iff the chunk (and column) is type-uniform.
+  std::span<const uint8_t> ChunkTags(size_t ci) const {
+    return chunks_[ci]->tags;
+  }
+  uint64_t ChunkMinBits(size_t ci) const { return chunks_[ci]->min_bits; }
+  uint64_t ChunkMaxBits(size_t ci) const { return chunks_[ci]->max_bits; }
+  /// The shared chunk handle (zone maps, sharing tests, NUMA/spill hooks).
+  const ChunkPtr& chunk(size_t ci) const { return chunks_[ci]; }
+
+  // -- Element access -------------------------------------------------------
+
+  /// Random access goes through a cached per-chunk base-pointer table
+  /// (rebuilt on every mutation), so hot chain-walking compares pay one
+  /// indexed load instead of a shared_ptr double-indirection.
+  uint64_t RawBits(size_t i) const {
+    return bases_[i >> chunk_shift_][i & chunk_mask_];
+  }
   ValueType TypeAt(size_t i) const {
-    return tags_.empty() ? type_ : static_cast<ValueType>(tags_[i]);
+    return tagged_ ? static_cast<ValueType>(
+                         chunks_[i >> chunk_shift_]->tags[i & chunk_mask_])
+                   : type_;
   }
-  Value Get(size_t i) const { return Value::FromRawBits(TypeAt(i), bits_[i]); }
+  Value Get(size_t i) const { return Value::FromRawBits(TypeAt(i), RawBits(i)); }
 
-  void Reserve(size_t n) {
-    bits_.reserve(n);
-    if (!tags_.empty()) tags_.reserve(n);
-  }
+  // -- Mutation (appends only touch the tail chunk) -------------------------
+
+  /// Pre-reserves tail-chunk capacity for growth up to `n` total elements.
+  /// Never detaches shared payloads: a no-op reservation (`n <= size()`)
+  /// must not force copy-on-write of fully shared chunks.
+  void Reserve(size_t n);
+
   void Append(Value v);
 
   /// Appends a raw payload of this column's own type. Only valid on a
   /// type-uniform column (fast bulk-assembly path; no per-cell tagging).
   void AppendRaw(uint64_t bits) {
-    assert(tags_.empty());
-    bits_.push_back(bits);
+    assert(!tagged_);
+    Chunk* tail = MutableTail();
+    tail->bits.push_back(bits);
+    if (bits < tail->min_bits) tail->min_bits = bits;
+    if (bits > tail->max_bits) tail->max_bits = bits;
+    ++size_;
+    SyncTailBase();
   }
 
   /// Appends `src[idx[k]]` for every k (output assembly for joins,
-  /// projections and selections — one pass per column).
+  /// projections and selections — one pass per column, chunk-iterating on
+  /// both sides).
   void AppendGather(const Column& src, std::span<const uint32_t> idx);
+
+  /// Builds a fresh column containing `src[sel[k]]` for every k. With a
+  /// scheduler and a large enough selection, output chunks are assembled
+  /// in parallel (one task per disjoint chunk); the result is bit-identical
+  /// to the sequential gather either way.
+  static Column Gathered(const Column& src, std::span<const uint32_t> sel,
+                         Scheduler* scheduler = nullptr);
+
+  // -- Hashing / comparison -------------------------------------------------
 
   /// Element hash, consistent with Value::Hash().
   uint64_t HashAt(size_t i) const {
     return Mix64(static_cast<uint64_t>(TypeAt(i)) * 0x100000001b3ULL ^
-                 bits_[i]);
+                 RawBits(i));
   }
 
   /// Combines every element's hash into `out` (HashCombine semantics);
-  /// `out.size()` must equal `size()`. Batch primitive for key hashing.
+  /// `out.size()` must equal `size()`. Batch primitive for key hashing,
+  /// iterating chunk-local spans.
   void HashCombineInto(std::span<uint64_t> out) const;
 
+  /// Same, restricted to global rows [begin, begin + out.size()); the range
+  /// may span chunk seams. Parallel hashing hands each task a chunk-aligned
+  /// range so every task reads chunk-local spans.
+  void HashCombineRange(size_t begin, std::span<uint64_t> out) const;
+
   bool ElemEquals(size_t i, const Column& o, size_t j) const {
-    return bits_[i] == o.bits_[j] && TypeAt(i) == o.TypeAt(j);
+    return RawBits(i) == o.RawBits(j) && TypeAt(i) == o.TypeAt(j);
   }
 
  private:
+  /// Tail chunk ready for one append: starts a new chunk when the column is
+  /// empty or the tail is sealed, and detaches (copies) a shared tail.
+  Chunk* MutableTail() {
+    if (chunks_.empty() || chunks_.back()->bits.size() > chunk_mask_) {
+      chunks_.push_back(std::make_shared<Chunk>());
+      if (tagged_) chunks_.back()->tags.reserve(chunk_capacity());
+    } else if (chunks_.back().use_count() > 1) {
+      chunks_.back() = std::make_shared<Chunk>(*chunks_.back());
+    }
+    return chunks_.back().get();
+  }
+
+  /// Refreshes the cached base pointer of the tail chunk (its bits vector
+  /// may have just reallocated or been detached).
+  void SyncTailBase() {
+    bases_.resize(chunks_.size());
+    bases_.back() = chunks_.back()->bits.data();
+  }
+  void RebuildBases() {
+    bases_.resize(chunks_.size());
+    for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+      bases_[ci] = chunks_[ci]->bits.data();
+    }
+  }
+
   void Demote(ValueType incoming);
 
   ValueType type_ = ValueType::kInt64;
-  std::vector<uint64_t> bits_;
-  std::vector<uint8_t> tags_;  // empty while type-uniform
+  bool tagged_ = false;
+  size_t size_ = 0;
+  uint32_t chunk_shift_;
+  uint64_t chunk_mask_;
+  std::vector<ChunkPtr> chunks_;
+  std::vector<const uint64_t*> bases_;  // chunk base pointers (see RawBits)
 };
 
 using ColumnPtr = std::shared_ptr<Column>;
@@ -97,7 +217,8 @@ using ColumnPtr = std::shared_ptr<Column>;
 ///
 /// The explicit row counter makes zero-arity relations (Boolean queries)
 /// fall out of the same accounting as everything else. Copies are shallow:
-/// columns and weights are shared until a mutation triggers copy-on-write.
+/// columns and weights are shared until a mutation triggers copy-on-write
+/// (and column mutation in turn detaches only the tail chunk it writes).
 class ColumnarRows {
  public:
   size_t NumRows() const { return num_rows_; }
@@ -111,7 +232,11 @@ class ColumnarRows {
     return weights_;
   }
 
+  /// Reserves room for `rows` total rows. A reservation that asks for no
+  /// growth is a strict no-op: it must not detach fully shared columns
+  /// (shared scan outputs would silently deep-copy otherwise).
   void Reserve(size_t rows) {
+    if (rows <= num_rows_) return;
     for (auto& c : cols_) MutableCol(&c)->Reserve(rows);
     MutableWeights()->reserve(rows);
   }
@@ -138,7 +263,8 @@ class ColumnarRows {
   /// Appends rows `sel` of `src` (same column layout) to this.
   void GatherImpl(const ColumnarRows& src, std::span<const uint32_t> sel);
 
-  /// Copy-on-write access.
+  /// Copy-on-write access. Detaching a shared Column copies only its
+  /// chunk-pointer vector; the payload chunks stay shared until written.
   static Column* MutableCol(ColumnPtr* c) {
     if (c->use_count() > 1) *c = std::make_shared<Column>(**c);
     return c->get();
@@ -157,9 +283,19 @@ class ColumnarRows {
 };
 
 /// Hash of the key columns `key_cols` for every row of `rows` (batch,
-/// column-at-a-time). Rows with equal key values get equal hashes.
+/// column-at-a-time). Rows with equal key values get equal hashes. With a
+/// scheduler and a large enough input, hashing fans out in chunk-aligned
+/// morsels (each task reads chunk-local spans of every key column); the
+/// result is identical either way.
 std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
-                                     std::span<const int> key_cols);
+                                     std::span<const int> key_cols,
+                                     Scheduler* scheduler = nullptr);
+
+/// `out[k] = w[sel[k]]` into a fresh vector; positional parallel writes
+/// with a scheduler. Weight-column companion of Column::Gathered.
+std::vector<double> GatherDoubles(const std::vector<double>& w,
+                                  std::span<const uint32_t> sel,
+                                  Scheduler* scheduler = nullptr);
 
 /// True iff row `ra` of `a` (at key columns `ka`) equals row `rb` of `b`
 /// (at key columns `kb`). `ka.size()` must equal `kb.size()`.

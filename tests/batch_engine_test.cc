@@ -93,6 +93,49 @@ TEST(BatchEngineTest, OverlappingWorkloadSharesSubplansThroughCache) {
   EXPECT_EQ(engine.stats().result_cache_hits, s.result_cache_hits);
 }
 
+TEST(BatchEngineTest, IdenticalConcurrentQueriesComputeEachSubplanOnce) {
+  ChainSpec spec;
+  spec.k = 4;
+  spec.n = 400;
+  spec.seed = 29;
+  auto db = std::make_shared<const Database>(MakeChainDatabase(spec));
+  ConjunctiveQuery q = MakeChainQuery(4);
+
+  // Reference: a single-query batch computes each cacheable subplan once;
+  // its miss count is the number of distinct cacheable subplans C.
+  size_t distinct_subplans;
+  {
+    QueryEngine engine(db);
+    auto r = engine.RunBatch(std::vector<ConjunctiveQuery>{q});
+    ASSERT_TRUE(r.ok());
+    distinct_subplans = engine.stats().result_cache_misses;
+    ASSERT_GT(distinct_subplans, 0u);
+  }
+
+  // 16 identical queries racing on a cold cache: in-flight dedup must keep
+  // the number of actual computations at exactly C — concurrent duplicates
+  // wait on the leader's future instead of computing twice.
+  constexpr size_t kDup = 16;
+  EngineOptions opts;
+  opts.num_threads = 8;
+  QueryEngine engine(db, opts);
+  QueryEngine reference(db);
+  auto expected = reference.Run(q);
+  ASSERT_TRUE(expected.ok());
+  auto results = engine.RunBatch(std::vector<ConjunctiveQuery>(kDup, q));
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  EngineStats s = engine.stats();
+  EXPECT_EQ(s.result_cache_misses, distinct_subplans)
+      << "a duplicate subplan computed twice in one batch";
+  // Every duplicate query was served at least its root subplan without
+  // computing (by plain hit or by waiting on the in-flight leader).
+  EXPECT_GE(s.result_cache_hits + s.result_cache_in_flight_waits, kDup - 1);
+  for (const auto& r : *results) {
+    ExpectSameRankings(expected->answers, r.answers, "dedup batch");
+  }
+}
+
 TEST(BatchEngineTest, MutationBumpsVersionAndInvalidatesCachedResults) {
   Database db;
   AddTable(&db, "R", 1, {{{1}, 0.7}});

@@ -129,6 +129,86 @@ TEST(DifferentialTest, MinMergeMatchesReference) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Chunk-boundary pinning: every operator must be bit-compatible with the
+// reference on inputs sized exactly at, one below, and one above the chunk
+// capacity, and on multi-chunk inputs whose gathers span chunk seams.
+// ---------------------------------------------------------------------------
+
+using testing_util::ChunkCapOverride;
+
+/// Random relation over `vars` with exactly `rows` rows.
+Rel ExactRel(Rng* rng, const std::vector<VarId>& vars, size_t rows,
+             int64_t domain) {
+  Rel out(vars);
+  std::vector<Value> row(vars.size());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < vars.size(); ++c) {
+      row[c] =
+          Value::Int64(1 + static_cast<int64_t>(rng->NextBounded(domain)));
+    }
+    out.AddRow(row, rng->NextDouble());
+  }
+  return out;
+}
+
+TEST(ChunkBoundaryDifferentialTest, OperatorsAgreeAtAndAroundChunkCapacity) {
+  constexpr size_t kCap = 128;
+  ChunkCapOverride cap(kCap);
+  // Sizes pinned to the seams: one below, exactly at, one above capacity,
+  // and a multi-chunk size crossing two seams.
+  const size_t sizes[] = {kCap - 1, kCap, kCap + 1, 2 * kCap + 1};
+  int seed = 0;
+  for (size_t rows : sizes) {
+    Rng rng(7000 + seed++);
+    Rel a = ExactRel(&rng, {0, 1}, rows, 12);
+    Rel b = ExactRel(&rng, {1, 2}, rows, 12);
+
+    Rel joined = HashJoin(a, b);
+    EXPECT_GT(joined.NumRows(), 0u) << rows;
+    ExpectSameRelation(ToRef(joined), RefJoin(ToRef(a), ToRef(b)),
+                       "boundary join rows=" + std::to_string(rows));
+
+    Rel pi = ProjectIndependent(a, MaskOf(0));
+    ExpectSameRelation(ToRef(pi), RefProject(ToRef(a), MaskOf(0), true),
+                       "boundary pi rows=" + std::to_string(rows));
+
+    Rel pd = ProjectDistinct(a, MaskOf(1));
+    ExpectSameRelation(ToRef(pd), RefProject(ToRef(a), MaskOf(1), false),
+                       "boundary distinct rows=" + std::to_string(rows));
+
+    Rel c = ExactRel(&rng, {0, 1}, rows, 12);
+    auto merged = MinMerge({a, c});
+    ASSERT_TRUE(merged.ok());
+    ExpectSameRelation(ToRef(*merged), RefMinMerge({ToRef(a), ToRef(c)}),
+                       "boundary min rows=" + std::to_string(rows));
+  }
+}
+
+TEST(ChunkBoundaryDifferentialTest, MultiChunkGatherSpansChunkSeams) {
+  constexpr size_t kCap = 64;
+  ChunkCapOverride cap(kCap);
+  Rng rng(8123);
+  // A gather whose selection jumps back and forth across 5 chunks, sized
+  // so the *output* also crosses several seams.
+  Rel src = ExactRel(&rng, {0, 1}, 5 * kCap + 7, 1000);
+  std::vector<uint32_t> sel;
+  for (size_t k = 0; k < 3 * kCap + 5; ++k) {
+    sel.push_back(static_cast<uint32_t>(rng.NextBounded(src.NumRows())));
+  }
+  for (int c = 0; c < src.arity(); ++c) {
+    Column seq;
+    seq.AppendGather(*src.col(c), sel);
+    Column built = Column::Gathered(*src.col(c), sel);
+    ASSERT_EQ(seq.size(), sel.size());
+    ASSERT_EQ(built.size(), sel.size());
+    for (size_t k = 0; k < sel.size(); ++k) {
+      EXPECT_EQ(seq.Get(k), src.col(c)->Get(sel[k])) << "col " << c << " " << k;
+      EXPECT_EQ(built.Get(k), seq.Get(k)) << "col " << c << " " << k;
+    }
+  }
+}
+
 /// Reference semi-join reduction: same pass structure as SemiJoinReduce but
 /// with naive row-at-a-time membership checks.
 std::vector<std::vector<size_t>> RefSemiJoinRows(const Database& db,

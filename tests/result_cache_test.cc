@@ -1,7 +1,9 @@
 // Workload-shared subplan result cache: hits, version invalidation, LRU.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +73,121 @@ TEST(ResultCacheTest, PutRefreshesExistingKey) {
   // Asking for any other version is a mismatch and discards the entry.
   EXPECT_EQ(cache.Get("k", 1), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// In-flight deduplication: concurrent requesters of one missing key get one
+// leader (which computes) and waiters (which block on the leader's future).
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, AcquireHandsOutExactlyOneLeader) {
+  ResultCache cache(8);
+  auto t1 = cache.Acquire("k", 1);
+  EXPECT_TRUE(t1.leader);
+  EXPECT_EQ(t1.value, nullptr);
+  auto t2 = cache.Acquire("k", 1);
+  EXPECT_FALSE(t2.leader);
+  EXPECT_EQ(t2.value, nullptr);
+  ASSERT_TRUE(t2.pending.valid());
+
+  cache.Complete("k", 1, OneRowRel(0.5));
+  auto rel = t2.pending.get();
+  ASSERT_NE(rel, nullptr);
+  EXPECT_DOUBLE_EQ(rel->Score(0), 0.5);
+
+  // After completion the value is a plain hit.
+  auto t3 = cache.Acquire("k", 1);
+  ASSERT_NE(t3.value, nullptr);
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);  // only the leader counts as a computation
+  EXPECT_EQ(s.in_flight_waits, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(ResultCacheTest, WaiterBlocksUntilLeaderCompletes) {
+  ResultCache cache(8);
+  auto leader = cache.Acquire("k", 1);
+  ASSERT_TRUE(leader.leader);
+
+  std::shared_ptr<const Rel> got;
+  std::thread waiter([&cache, &got] {
+    auto t = cache.Acquire("k", 1);
+    EXPECT_FALSE(t.leader);
+    got = t.value ? t.value : t.pending.get();
+  });
+  cache.Complete("k", 1, OneRowRel(0.7));
+  waiter.join();
+  ASSERT_NE(got, nullptr);
+  EXPECT_DOUBLE_EQ(got->Score(0), 0.7);
+}
+
+TEST(ResultCacheTest, AbandonWakesWaitersWithNull) {
+  ResultCache cache(8);
+  auto leader = cache.Acquire("k", 1);
+  ASSERT_TRUE(leader.leader);
+  auto waiter = cache.Acquire("k", 1);
+  ASSERT_FALSE(waiter.leader);
+  cache.Abandon("k", 1);
+  EXPECT_EQ(waiter.pending.get(), nullptr);
+  // Nothing was stored; the next Acquire leads again.
+  auto retry = cache.Acquire("k", 1);
+  EXPECT_TRUE(retry.leader);
+  cache.Complete("k", 1, OneRowRel(0.9));
+  EXPECT_NE(cache.Get("k", 1), nullptr);
+}
+
+TEST(ResultCacheTest, InFlightEntriesAreVersionScoped) {
+  ResultCache cache(8);
+  auto v1 = cache.Acquire("k", 1);
+  EXPECT_TRUE(v1.leader);
+  // A different database version must not wait on the v1 computation.
+  auto v2 = cache.Acquire("k", 2);
+  EXPECT_TRUE(v2.leader);
+  cache.Complete("k", 1, OneRowRel(0.1));
+  cache.Complete("k", 2, OneRowRel(0.2));
+  // The second Complete refreshed the entry to version 2.
+  auto hit = cache.Get("k", 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->Score(0), 0.2);
+}
+
+TEST(ResultCacheTest, CapacityZeroAcquireAlwaysLeads) {
+  ResultCache cache(0);
+  auto t1 = cache.Acquire("k", 1);
+  auto t2 = cache.Acquire("k", 1);
+  EXPECT_TRUE(t1.leader);
+  EXPECT_TRUE(t2.leader);  // disabled cache: no dedup, no storage
+  cache.Complete("k", 1, OneRowRel(0.5));
+  EXPECT_EQ(cache.Get("k", 1), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentAcquireComputesEachKeyOnce) {
+  ResultCache cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 20;
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &computes] {
+      for (int k = 0; k < kKeys; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        auto ticket = cache.Acquire(key, 1);
+        if (ticket.value) continue;
+        if (ticket.leader) {
+          computes.fetch_add(1);
+          cache.Complete(key, 1, OneRowRel(0.5));
+        } else {
+          auto rel = ticket.pending.get();
+          EXPECT_NE(rel, nullptr);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // The whole point: every key computed exactly once despite 8 concurrent
+  // requesters per key.
+  EXPECT_EQ(computes.load(), kKeys);
+  EXPECT_EQ(cache.stats().misses, static_cast<size_t>(kKeys));
 }
 
 TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {

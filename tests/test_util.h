@@ -10,10 +10,29 @@
 
 #include "src/query/cq.h"
 #include "src/query/parser.h"
+#include "src/storage/columnar.h"
 #include "src/storage/database.h"
 
 namespace dissodb {
 namespace testing_util {
+
+/// Scoped override of the default Column chunk capacity, so chunk-seam
+/// behavior is exercisable on small inputs. Columns capture the capacity
+/// at construction; build all test inputs while the override is alive.
+class ChunkCapOverride {
+ public:
+  explicit ChunkCapOverride(size_t cap)
+      : old_(Column::default_chunk_capacity()) {
+    Column::SetDefaultChunkCapacityForTesting(cap);
+  }
+  ~ChunkCapOverride() { Column::SetDefaultChunkCapacityForTesting(old_); }
+
+  ChunkCapOverride(const ChunkCapOverride&) = delete;
+  ChunkCapOverride& operator=(const ChunkCapOverride&) = delete;
+
+ private:
+  size_t old_;
+};
 
 /// Parses a query or fails the test.
 inline ConjunctiveQuery Q(const std::string& text, StringPool* pool = nullptr) {
