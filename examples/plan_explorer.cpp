@@ -103,20 +103,50 @@ int main(int argc, char** argv) {
 
   // Serving path: the same query three times as one batch — the compiled
   // plan comes from the plan cache and the duplicate evaluations are
-  // served from the shared subplan result cache.
+  // served from the shared subplan result cache. A fourth prepared handle
+  // under renamed variables canonicalizes to the same artifact.
   auto batch = engine.RunBatch(std::vector<ConjunctiveQuery>{*q, *q, *q});
+  {
+    ConjunctiveQuery renamed;
+    renamed.SetName(q->name());
+    std::vector<VarId> newid(q->num_vars(), -1);
+    for (VarId v = q->num_vars() - 1; v >= 0; --v) {
+      newid[v] = renamed.AddVar("r_" + q->var_name(v));
+    }
+    for (VarId h : q->head_vars()) (void)renamed.AddHeadVar(newid[h]);
+    for (int i = 0; i < q->num_atoms(); ++i) {
+      Atom atom = q->atom(i);
+      for (Term& t : atom.terms) {
+        if (t.is_var) t.var = newid[t.var];
+      }
+      (void)renamed.AddAtom(std::move(atom));
+    }
+    auto prepared = engine.Prepare(renamed);
+    if (prepared.ok()) {
+      std::printf("\nprepared handle for a variable-renamed spelling:\n"
+                  "  canonical key:  %s\n  plan cache hit: %s, "
+                  "answer remap needed: %s\n",
+                  prepared->cache_key().c_str(),
+                  prepared->from_plan_cache() ? "yes" : "no",
+                  prepared->needs_remap() ? "yes" : "no");
+    }
+  }
   if (batch.ok()) {
     EngineStats s = engine.stats();
-    std::printf("\nengine stats after Run + RunBatch{3 copies}:\n");
-    std::printf("  queries:            %zu (%zu via RunBatch)\n", s.queries,
-                s.batch_queries);
-    std::printf("  plan cache:         %zu hits, %zu misses\n",
-                s.plan_cache_hits, s.plan_cache_misses);
+    std::printf("\nengine stats after Run + RunBatch{3 copies} + Prepare:\n");
+    std::printf("  queries:            %zu (%zu async), %zu prepares\n",
+                s.queries, s.batch_queries, s.prepared_queries);
+    std::printf("  plan cache:         %zu hits, %zu misses (LRU); "
+                "%zu remapped executions, %zu canonical-remap hits\n",
+                s.plan_cache_hits, s.plan_cache_misses, s.canonical_remaps,
+                s.canonical_remap_hits);
     std::printf("  result cache:       %zu hits, %zu misses, %zu in-flight "
                 "waits, %zu evictions, %zu entries\n",
                 s.result_cache_hits, s.result_cache_misses,
                 s.result_cache_in_flight_waits, s.result_cache_evictions,
                 s.result_cache_entries);
+    std::printf("  opt3 reductions:    %zu cached, %zu computed\n",
+                s.reduction_cache_hits, s.reduction_cache_misses);
     std::printf("  scheduler tasks:    %zu\n", s.tasks_executed);
     std::printf("  chunked scans:      %zu filtered (%zu parallel), "
                 "%zu chunks scanned, %zu pruned by zone maps, "

@@ -1,0 +1,41 @@
+#include "src/engine/bindings.h"
+
+namespace dissodb {
+
+Result<std::vector<Value>> Bindings::ParamVector(int num_params) const {
+  for (const auto& [idx, v] : params_) {
+    if (idx < 0 || idx >= num_params) {
+      return Status::InvalidArgument(
+          "bound parameter $" + std::to_string(idx) +
+          " is out of range: query has " + std::to_string(num_params) +
+          " parameter(s)");
+    }
+  }
+  std::vector<Value> out;
+  out.reserve(num_params);
+  for (int i = 0; i < num_params; ++i) {
+    auto it = params_.find(i);
+    if (it == params_.end()) {
+      return Status::InvalidArgument("parameter $" + std::to_string(i) +
+                                     " is unbound");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::optional<std::string> Bindings::Fingerprint() const {
+  std::string fp;
+  for (const auto& [idx, v] : params_) {
+    fp += "p" + std::to_string(idx) + "=c" +
+          std::to_string(static_cast<int>(v.type())) + ":" +
+          std::to_string(v.RawBits()) + ";";
+  }
+  for (const auto& [idx, ov] : atoms_) {
+    if (ov.tag.empty()) return std::nullopt;
+    fp += "a" + std::to_string(idx) + "=" + ov.tag + ";";
+  }
+  return fp;
+}
+
+}  // namespace dissodb

@@ -1,14 +1,17 @@
 #include "src/engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 #include "src/dissociation/minimal_plans.h"
 #include "src/dissociation/single_plan.h"
 #include "src/exec/evaluator.h"
 #include "src/exec/semijoin.h"
 #include "src/query/analysis.h"
+#include "src/query/canonicalize.h"
 #include "src/query/parser.h"
 
 namespace dissodb {
@@ -25,6 +28,21 @@ std::string CacheKey(const ConjunctiveQuery& q, const PropagationOptions& o) {
   key += o.enum_opts.use_deterministic ? '1' : '0';
   key += o.enum_opts.use_fds ? '1' : '0';
   return key;
+}
+
+/// String constants unknown to the database pool carry parse-local negative
+/// codes; two different strings in two different queries can share a code,
+/// so such queries must never exchange results through the shared cache.
+bool HasUnknownStringConstants(const ConjunctiveQuery& q) {
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    for (const Term& t : q.atom(i).terms) {
+      if (!t.is_var && !t.IsParam() && t.constant.type() == ValueType::kString &&
+          t.constant.AsStringCode() < 0) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -44,159 +62,68 @@ QueryEngine QueryEngine::Borrow(const Database& db, EngineOptions opts) {
                      opts);
 }
 
-Result<QueryResult> QueryEngine::Run(
-    std::string_view query_text,
-    const std::unordered_map<int, const Table*>& overrides) {
+// ---------------------------------------------------------------------------
+// Prepare
+// ---------------------------------------------------------------------------
+
+Result<PreparedQuery> QueryEngine::Prepare(std::string_view query_text) {
   auto q = ParseQueryReadOnly(query_text, db_->strings());
   if (!q.ok()) return q.status();
-  return Run(*q, overrides);
+  return Prepare(*q);
 }
 
-Result<QueryResult> QueryEngine::Run(
-    const ConjunctiveQuery& q,
-    const std::unordered_map<int, const Table*>& overrides) {
-  return RunInternal(q, overrides, /*scheduler=*/nullptr,
-                     /*use_result_cache=*/false);
-}
-
-Result<QueryResult> QueryEngine::RunInternal(
-    const ConjunctiveQuery& q,
-    const std::unordered_map<int, const Table*>& overrides,
-    Scheduler* scheduler, bool use_result_cache) {
-  bool cache_hit = false;
-  auto compiled = GetOrCompile(q, &cache_hit);
-  if (!compiled.ok()) return compiled.status();
-
-  const PropagationOptions& popts = opts_.propagation;
-  QueryResult result;
-  result.num_minimal_plans = (*compiled)->num_minimal_plans;
-  result.from_plan_cache = cache_hit;
-
-  // Opt. 3: semi-join-reduce the inputs first.
-  std::vector<Table> reduced;
-  std::unordered_map<int, const Table*> effective = overrides;
-  if (popts.opt3_semijoin_reduction) {
-    auto r = SemiJoinReduce(*db_, q, overrides);
-    if (!r.ok()) return r.status();
-    reduced = std::move(*r);
-    for (int i = 0; i < q.num_atoms(); ++i) effective[i] = &reduced[i];
-  }
-
-  Rel scores(std::vector<VarId>{});
-  ChunkedScanStats scan_stats;
-  if ((*compiled)->single_plan) {
-    PlanEvaluator ev(*db_, q);
-    for (const auto& [idx, table] : effective) ev.SetAtomTable(idx, table);
-    if (use_result_cache && result_cache_) {
-      ev.SetResultCache(result_cache_.get(), db_->version());
-    }
-    ev.SetScheduler(scheduler);
-    auto rel = ev.Evaluate((*compiled)->single_plan);
-    if (!rel.ok()) return rel.status();
-    result.nodes_evaluated = ev.nodes_evaluated();
-    result.result_cache_hits = ev.result_cache_hits();
-    scan_stats = ev.scan_stats();
-    scores = **rel;
+Result<PreparedQuery> QueryEngine::Prepare(const ConjunctiveQuery& q) {
+  auto impl = std::make_shared<PreparedQuery::Impl>();
+  impl->original = q;
+  if (opts_.canonicalize) {
+    auto canon = CanonicalizeQuery(q);
+    if (!canon.ok()) return canon.status();
+    impl->canon = std::move(*canon);
   } else {
-    auto rel = EvaluatePlansSeparately(*db_, q, (*compiled)->plans, effective,
-                                       &scan_stats);
-    if (!rel.ok()) return rel.status();
-    for (const auto& p : (*compiled)->plans) {
-      result.nodes_evaluated += MeasurePlan(p).tree_nodes;
+    // Legacy mode: plans are compiled in the caller's variable space.
+    CanonicalizedQuery id;
+    id.query = q;
+    id.orig_to_canon.resize(q.num_vars());
+    id.canon_to_orig.resize(q.num_vars());
+    for (VarId v = 0; v < q.num_vars(); ++v) {
+      id.orig_to_canon[v] = v;
+      id.canon_to_orig[v] = v;
     }
-    scores = std::move(*rel);
+    impl->canon = std::move(id);
   }
-  result.answers = RankAnswers(scores);
-  {
-    std::lock_guard lock(scan_mu_);
-    scan_stats_.MergeFrom(scan_stats);
-  }
+  impl->share_results = !HasUnknownStringConstants(impl->canon.query);
+  impl->cache_key = CacheKey(impl->canon.query, opts_.propagation);
 
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  return result;
+  bool cache_hit = false;
+  bool renamed_hit = false;
+  auto compiled = GetOrCompile(impl->canon.query, impl->cache_key,
+                               q.ToString(), &cache_hit, &renamed_hit);
+  if (!compiled.ok()) return compiled.status();
+  impl->compiled = std::move(*compiled);
+  impl->from_plan_cache = cache_hit;
+
+  prepared_.fetch_add(1, std::memory_order_relaxed);
+  if (renamed_hit) {
+    canonical_remap_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return PreparedQuery(std::move(impl));
 }
 
-Result<double> QueryEngine::RunBoolean(std::string_view query_text) {
-  auto q = ParseQueryReadOnly(query_text, db_->strings());
-  if (!q.ok()) return q.status();
-  if (!q->IsBoolean()) {
-    return Status::InvalidArgument("query has head variables");
-  }
-  auto r = Run(*q);
-  if (!r.ok()) return r.status();
-  if (r->answers.empty()) return 0.0;
-  return r->answers[0].score;
-}
-
-Scheduler* QueryEngine::EnsureScheduler() {
-  {
-    std::shared_lock lock(mu_);
-    if (scheduler_) return scheduler_.get();
-  }
-  std::unique_lock lock(mu_);
-  if (!scheduler_) {
-    scheduler_ = std::make_unique<Scheduler>(opts_.num_threads);
-  }
-  return scheduler_.get();
-}
-
-Result<std::vector<QueryResult>> QueryEngine::RunBatch(
-    const std::vector<ConjunctiveQuery>& queries) {
-  const size_t n = queries.size();
-  std::vector<QueryResult> results(n);
-  std::vector<Status> statuses(n);
-  if (n == 0) return results;
-
-  Scheduler* scheduler = EnsureScheduler();
-  // One task per query; the pool runs them concurrently (the caller thread
-  // participates) and each task may fan its own large operators out as
-  // morsels on the same pool — ParallelFor is work-sharing, so the nesting
-  // cannot deadlock. Cross-query subplan sharing happens inside the
-  // evaluator through the engine's ResultCache.
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    tasks.push_back([this, i, &queries, &results, &statuses, scheduler] {
-      auto r = RunInternal(queries[i], {}, scheduler,
-                           /*use_result_cache=*/true);
-      if (r.ok()) {
-        results[i] = std::move(*r);
-      } else {
-        statuses[i] = r.status();
-      }
-    });
-  }
-  scheduler->RunAll(std::move(tasks));
-  batch_queries_.fetch_add(n, std::memory_order_relaxed);
-
-  for (const auto& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  return results;
-}
-
-Result<std::vector<QueryResult>> QueryEngine::RunBatch(
-    const std::vector<std::string>& query_texts) {
-  std::vector<ConjunctiveQuery> queries;
-  queries.reserve(query_texts.size());
-  for (const auto& text : query_texts) {
-    auto q = ParseQueryReadOnly(text, db_->strings());
-    if (!q.ok()) return q.status();
-    queries.push_back(std::move(*q));
-  }
-  return RunBatch(queries);
-}
-
-Result<std::shared_ptr<const QueryEngine::CompiledQuery>>
-QueryEngine::GetOrCompile(const ConjunctiveQuery& q, bool* cache_hit) {
-  const std::string key = CacheKey(q, opts_.propagation);
+Result<std::shared_ptr<const CompiledPlans>> QueryEngine::GetOrCompile(
+    const ConjunctiveQuery& q, const std::string& key,
+    const std::string& original_text, bool* cache_hit, bool* renamed_hit) {
+  *renamed_hit = false;
   if (opts_.plan_cache_capacity > 0) {
-    std::shared_lock lock(mu_);
+    std::lock_guard lock(plan_mu_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
+      // True LRU: a hit refreshes the entry (splice keeps the iterator
+      // valid and moves the node to the front).
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
       *cache_hit = true;
+      *renamed_hit = it->second.original_text != original_text;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return it->second.compiled;
     }
   }
   *cache_hit = false;
@@ -206,7 +133,7 @@ QueryEngine::GetOrCompile(const ConjunctiveQuery& q, bool* cache_hit) {
   auto sk = SchemaKnowledge::FromDatabase(q, *db_);
   if (!sk.ok()) return sk.status();
 
-  auto compiled = std::make_shared<CompiledQuery>();
+  auto compiled = std::make_shared<CompiledPlans>();
   {
     auto plans = EnumerateMinimalPlans(q, *sk, opts_.propagation.enum_opts);
     if (!plans.ok()) return plans.status();
@@ -224,26 +151,341 @@ QueryEngine::GetOrCompile(const ConjunctiveQuery& q, bool* cache_hit) {
 
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.plan_cache_capacity > 0) {
-    std::unique_lock lock(mu_);
-    auto [it, inserted] = plan_cache_.try_emplace(key, compiled);
-    if (inserted) {
-      cache_order_.push_back(key);
-      if (cache_order_.size() > opts_.plan_cache_capacity) {
-        plan_cache_.erase(cache_order_.front());
-        cache_order_.erase(cache_order_.begin());
+    std::lock_guard lock(plan_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      // Lost a compile race; adopt (and touch) the installed artifact.
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
+      return it->second.compiled;
+    }
+    plan_lru_.push_front(key);
+    plan_cache_.emplace(
+        key, PlanCacheEntry{compiled, original_text, plan_lru_.begin()});
+    if (plan_cache_.size() > opts_.plan_cache_capacity) {
+      plan_cache_.erase(plan_lru_.back());
+      plan_lru_.pop_back();
+    }
+  }
+  return std::shared_ptr<const CompiledPlans>(std::move(compiled));
+}
+
+// ---------------------------------------------------------------------------
+// Execute / Submit / batches
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> QueryEngine::Execute(const PreparedQuery& prepared,
+                                         const Bindings& bindings) {
+  return ExecuteInternal(prepared, bindings, /*scheduler=*/nullptr,
+                         /*use_result_cache=*/false);
+}
+
+Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
+                                                 const Bindings& bindings,
+                                                 Scheduler* scheduler,
+                                                 bool use_result_cache) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("executing an empty PreparedQuery handle");
+  }
+  const PreparedQuery::Impl& impl = *prepared.impl_;
+  use_result_cache = use_result_cache && impl.share_results;
+
+  // Parameter substitution: the compiled plans only depend on the query's
+  // structure, so one prepared artifact serves every binding; the executed
+  // query carries the bound constants (scans filter on them, and subplan
+  // fingerprints render them, so distinct parameter values never collide
+  // in the result cache).
+  const int np = impl.canon.query.num_params();
+  ConjunctiveQuery substituted;
+  const ConjunctiveQuery* exec_q = &impl.canon.query;
+  bool params_shareable = true;
+  if (np > 0) {
+    auto params = bindings.ParamVector(np);
+    if (!params.ok()) return params.status();
+    // A bound string constant unknown to the pool carries a parse-local
+    // negative code (not stable across queries) — such executions must not
+    // exchange results, exactly like unknown strings written in the text.
+    for (const Value& v : *params) {
+      if (v.type() == ValueType::kString && v.AsStringCode() < 0) {
+        params_shareable = false;
       }
     }
-    return it->second;
+    auto sub = SubstituteParams(impl.canon.query, *params);
+    if (!sub.ok()) return sub.status();
+    substituted = std::move(*sub);
+    exec_q = &substituted;
+  } else if (bindings.num_params_bound() > 0) {
+    return Status::InvalidArgument(
+        "bindings provide parameter values but the query has no placeholders");
   }
-  return std::shared_ptr<const CompiledQuery>(std::move(compiled));
+
+  AtomOverrides effective = bindings.atom_overrides();
+  for (const auto& [idx, ov] : effective) {
+    if (idx < 0 || idx >= exec_q->num_atoms() || ov.table == nullptr) {
+      return Status::InvalidArgument("atom binding index out of range");
+    }
+  }
+
+  const uint64_t version = db_->version();
+  use_result_cache = use_result_cache && params_shareable;
+
+  // Opt. 3: semi-join-reduce the inputs first. When the bindings are
+  // fingerprintable the reduction itself is too — reduction(query text,
+  // db version, binding fingerprint) — so reduced tables are cached across
+  // executions and the reduced subplans keep sharing results.
+  std::shared_ptr<const std::vector<Table>> reduced_shared;
+  std::vector<Table> reduced_local;
+  if (opts_.propagation.opt3_semijoin_reduction) {
+    std::unordered_map<int, const Table*> raw;
+    for (const auto& [idx, ov] : effective) raw[idx] = ov.table;
+    const std::optional<std::string> bfp = bindings.Fingerprint();
+    const bool taggable =
+        impl.share_results && params_shareable && bfp.has_value();
+    std::string rtag;
+    if (taggable) {
+      rtag = "opt3:" + exec_q->ToString() + "@" + std::to_string(version) +
+             "|" + *bfp;
+      auto red = GetOrReduce(rtag, *exec_q, raw);
+      if (!red.ok()) return red.status();
+      reduced_shared = std::move(*red);
+    } else {
+      auto red = SemiJoinReduce(*db_, *exec_q, raw);
+      if (!red.ok()) return red.status();
+      reduced_local = std::move(*red);
+    }
+    const std::vector<Table>& reduced =
+        reduced_shared ? *reduced_shared : reduced_local;
+    effective.clear();
+    for (int i = 0; i < exec_q->num_atoms(); ++i) {
+      effective[i] = AtomOverride{&reduced[i],
+                                  taggable ? rtag : std::string()};
+    }
+  }
+
+  QueryResult result;
+  result.num_minimal_plans = impl.compiled->num_minimal_plans;
+  result.from_plan_cache = impl.from_plan_cache;
+
+  Rel scores(std::vector<VarId>{});
+  ChunkedScanStats scan_stats;
+  if (impl.compiled->single_plan) {
+    PlanEvaluator ev(*db_, *exec_q);
+    for (const auto& [idx, ov] : effective) {
+      ev.SetAtomTable(idx, ov.table, ov.tag);
+    }
+    if (use_result_cache && result_cache_) {
+      ev.SetResultCache(result_cache_.get(), version);
+    }
+    ev.SetScheduler(scheduler);
+    auto rel = ev.Evaluate(impl.compiled->single_plan);
+    if (!rel.ok()) return rel.status();
+    result.nodes_evaluated = ev.nodes_evaluated();
+    result.result_cache_hits = ev.result_cache_hits();
+    scan_stats = ev.scan_stats();
+    scores = **rel;
+  } else {
+    auto rel = EvaluatePlansSeparately(*db_, *exec_q, impl.compiled->plans,
+                                       effective, &scan_stats);
+    if (!rel.ok()) return rel.status();
+    for (const auto& p : impl.compiled->plans) {
+      result.nodes_evaluated += MeasurePlan(p).tree_nodes;
+    }
+    scores = std::move(*rel);
+  }
+
+  // Map the answer relation from canonical variable space back to the
+  // caller's variable ids (zero-copy column permutation).
+  if (!impl.canon.identity && scores.arity() > 0) {
+    scores = RemapRelVars(scores, impl.canon.canon_to_orig);
+    canonical_remaps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  result.answers = RankAnswers(scores);
+  {
+    std::lock_guard lock(scan_mu_);
+    scan_stats_.MergeFrom(scan_stats);
+  }
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
+    const std::string& key, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides) {
+  const bool cacheable =
+      !key.empty() && opts_.reduction_cache_capacity > 0;
+  if (cacheable) {
+    std::lock_guard lock(reduction_mu_);
+    auto it = reduction_cache_.find(key);
+    if (it != reduction_cache_.end()) {
+      reduction_lru_.splice(reduction_lru_.begin(), reduction_lru_,
+                            it->second.lru_pos);
+      reduction_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.tables;
+    }
+  }
+  auto r = SemiJoinReduce(*db_, q, overrides);
+  if (!r.ok()) return r.status();
+  auto tables = std::make_shared<const std::vector<Table>>(std::move(*r));
+  reduction_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cacheable) {
+    std::lock_guard lock(reduction_mu_);
+    auto it = reduction_cache_.find(key);
+    if (it != reduction_cache_.end()) return it->second.tables;  // lost race
+    reduction_lru_.push_front(key);
+    reduction_cache_.emplace(
+        key, ReductionEntry{tables, reduction_lru_.begin()});
+    if (reduction_cache_.size() > opts_.reduction_cache_capacity) {
+      reduction_cache_.erase(reduction_lru_.back());
+      reduction_lru_.pop_back();
+    }
+  }
+  return tables;
+}
+
+Scheduler* QueryEngine::EnsureScheduler() {
+  {
+    std::shared_lock lock(mu_);
+    if (scheduler_) return scheduler_.get();
+  }
+  std::unique_lock lock(mu_);
+  if (!scheduler_) {
+    scheduler_ = std::make_unique<Scheduler>(opts_.num_threads);
+  }
+  return scheduler_.get();
+}
+
+std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
+                                                     Bindings bindings) {
+  Scheduler* scheduler = EnsureScheduler();
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, scheduler, prepared = std::move(prepared),
+       bindings = std::move(bindings)]() {
+        batch_queries_.fetch_add(1, std::memory_order_relaxed);
+        return ExecuteInternal(prepared, bindings, scheduler,
+                               /*use_result_cache=*/true);
+      });
+  auto future = task->get_future();
+  scheduler->Submit([task] { (*task)(); });
+  return future;
+}
+
+std::vector<Result<QueryResult>> QueryEngine::ExecuteBatch(
+    const std::vector<PreparedQuery>& prepared,
+    const std::vector<Bindings>& bindings) {
+  std::vector<Result<QueryResult>> out;
+  const size_t n = prepared.size();
+  if (!bindings.empty() && bindings.size() != n) {
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(Status::InvalidArgument(
+          "ExecuteBatch: bindings must be empty or match prepared in size"));
+    }
+    return out;
+  }
+  if (n == 0) return out;
+
+  Scheduler* scheduler = EnsureScheduler();
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(
+        Submit(prepared[i], bindings.empty() ? Bindings{} : bindings[i]));
+  }
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Work-share while waiting: run queued tasks (other queries of this
+    // batch, or their operator morsels) on this thread instead of idling.
+    while (futures[i].wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready &&
+           scheduler->TryRunOne()) {
+    }
+    out.push_back(futures[i].get());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy wrappers
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> QueryEngine::Run(
+    std::string_view query_text,
+    const std::unordered_map<int, const Table*>& overrides) {
+  auto q = ParseQueryReadOnly(query_text, db_->strings());
+  if (!q.ok()) return q.status();
+  return Run(*q, overrides);
+}
+
+Result<QueryResult> QueryEngine::Run(
+    const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides) {
+  auto prepared = Prepare(q);
+  if (!prepared.ok()) return prepared.status();
+  Bindings bindings;
+  for (const auto& [idx, table] : overrides) {
+    bindings.SetAtomTable(idx, table);  // untagged: conservative semantics
+  }
+  return ExecuteInternal(*prepared, bindings, /*scheduler=*/nullptr,
+                         /*use_result_cache=*/false);
+}
+
+Result<double> QueryEngine::RunBoolean(std::string_view query_text,
+                                       const Bindings& bindings) {
+  auto prepared = Prepare(query_text);
+  if (!prepared.ok()) return prepared.status();
+  if (!prepared->original().IsBoolean()) {
+    return Status::InvalidArgument("query has head variables");
+  }
+  auto r = ExecuteInternal(*prepared, bindings, /*scheduler=*/nullptr,
+                           /*use_result_cache=*/false);
+  if (!r.ok()) return r.status();
+  if (r->answers.empty()) return 0.0;
+  return r->answers[0].score;
+}
+
+Result<std::vector<QueryResult>> QueryEngine::RunBatch(
+    const std::vector<ConjunctiveQuery>& queries) {
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(queries.size());
+  for (const auto& q : queries) {
+    auto p = Prepare(q);
+    if (!p.ok()) return p.status();
+    prepared.push_back(std::move(*p));
+  }
+  auto detailed = ExecuteBatch(prepared);
+  std::vector<QueryResult> out;
+  out.reserve(detailed.size());
+  for (auto& r : detailed) {
+    if (!r.ok()) return r.status();  // all-or-nothing legacy semantics
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+Result<std::vector<QueryResult>> QueryEngine::RunBatch(
+    const std::vector<std::string>& query_texts) {
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(query_texts.size());
+  for (const auto& text : query_texts) {
+    auto q = ParseQueryReadOnly(text, db_->strings());
+    if (!q.ok()) return q.status();
+    queries.push_back(std::move(*q));
+  }
+  return RunBatch(queries);
 }
 
 EngineStats QueryEngine::stats() const {
   EngineStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.prepared_queries = prepared_.load(std::memory_order_relaxed);
   s.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.canonical_remaps = canonical_remaps_.load(std::memory_order_relaxed);
+  s.canonical_remap_hits =
+      canonical_remap_hits_.load(std::memory_order_relaxed);
+  s.reduction_cache_hits = reduction_hits_.load(std::memory_order_relaxed);
+  s.reduction_cache_misses = reduction_misses_.load(std::memory_order_relaxed);
   if (result_cache_) {
     ResultCacheStats rc = result_cache_->stats();
     s.result_cache_hits = rc.hits;

@@ -1,28 +1,44 @@
 // QueryEngine — the reusable engine facade over one immutable database.
 //
-// Owns the full pipeline: parse -> structural analysis / schema knowledge ->
-// dissociation plan choice (Algorithms 1-3) -> optional semi-join reduction
-// -> vectorized plan evaluation -> ranked answers. Compiled plans are cached
-// by query signature + optimization flags, so repeated queries skip
-// enumeration and plan construction entirely.
+// Owns the full pipeline: parse -> canonicalization -> structural analysis /
+// schema knowledge -> dissociation plan choice (Algorithms 1-3) -> optional
+// semi-join reduction -> vectorized plan evaluation -> ranked answers.
 //
-// Serving layer (src/serve/): the engine also owns a bounded ResultCache of
-// evaluated subplan relations keyed by (plan fingerprint, database version)
-// — the paper's Opt. 2 subplan sharing lifted from one plan DAG to the
-// whole workload — and a Scheduler thread pool. RunBatch evaluates many
-// queries at once: identical subplans across the batch are computed once
-// through the cache, the residual work is fanned out on the pool, and the
-// morsel-parallel operators split large joins/groupings across cores.
-// Rankings are bit-identical to sequential Run calls.
+// The public surface is a prepared-query API:
+//
+//   auto prepared = engine.Prepare("q(x) :- R(x,$0), S(x,y)");
+//   auto result   = engine.Execute(*prepared, Bindings().Set(0, Value::Int64(7)));
+//   auto future   = engine.Submit(*prepared, bindings);   // async, pooled
+//
+// Prepare compiles once and canonicalizes variable ids (occurrence-order
+// renaming), so differently-named but isomorphic queries share one plan-
+// cache entry and the same ResultCache fingerprints — answers are mapped
+// back to the caller's variable order with a zero-copy column remap.
+// Bindings carry constant parameters and per-atom table selections; tagged
+// selections (and Opt. 3's semi-join-reduced inputs, which the engine tags
+// as reduction(query, db version)) stay fingerprintable and therefore keep
+// participating in cross-query result sharing. Thin Run/RunBatch/RunBoolean
+// wrappers keep the legacy string-in/answers-out surface working.
+//
+// Serving layer (src/serve/): the engine owns a bounded ResultCache of
+// evaluated subplan relations keyed by (plan fingerprint [+ binding tags],
+// database version) — the paper's Opt. 2 subplan sharing lifted from one
+// plan DAG to the whole workload — and a Scheduler thread pool. Submit
+// enqueues one pooled task per execution and returns a future (per-query
+// error delivery); ExecuteBatch submits a whole workload and drains queue
+// tasks on the calling thread while it waits. Rankings are bit-identical
+// to sequential Execute calls.
 //
 // Thread safety: the engine never mutates the database (string constants
-// parse through the read-only pool path), and both caches are internally
-// synchronized — any number of threads may call Run()/RunBatch()
+// parse through the read-only pool path), and all caches are internally
+// synchronized — any number of threads may Prepare/Execute/Submit
 // concurrently on one engine over one shared immutable Database.
 #ifndef DISSODB_ENGINE_QUERY_ENGINE_H_
 #define DISSODB_ENGINE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -32,6 +48,8 @@
 
 #include "src/common/status.h"
 #include "src/dissociation/propagation.h"
+#include "src/engine/bindings.h"
+#include "src/engine/prepared_query.h"
 #include "src/exec/operators.h"
 #include "src/exec/ranking.h"
 #include "src/plan/plan.h"
@@ -46,26 +64,41 @@ namespace dissodb {
 /// PropagationOptions (Section 4 optimization toggles).
 struct EngineOptions {
   PropagationOptions propagation;
-  /// Max cached compiled plans; 0 disables the cache.
+  /// Max cached compiled plans (true LRU; a Prepare hit refreshes the
+  /// entry); 0 disables the cache.
   size_t plan_cache_capacity = 1024;
-  /// Max cached evaluated subplan relations shared across the queries of
-  /// RunBatch workloads; 0 disables the result cache. Plain Run never
-  /// consults it, so single-query timings measure evaluation, not caching.
-  /// Caveat: opt3_semijoin_reduction rebinds every atom to a per-query
-  /// reduced table, which makes every subplan override-tainted — sound,
-  /// but no subplan is ever shared, so batch workloads that want cache
-  /// sharing should leave opt3 off (the default).
+  /// Max cached evaluated subplan relations shared across Submit /
+  /// ExecuteBatch / RunBatch workloads; 0 disables the result cache.
+  /// Synchronous Execute/Run never consult it, so single-query timings
+  /// measure evaluation, not caching.
   size_t result_cache_capacity = 256;
-  /// Worker threads for RunBatch / morsel-parallel operators;
-  /// 0 = hardware concurrency. The pool starts lazily on first RunBatch.
+  /// Max cached Opt. 3 semi-join reductions, keyed by (executed query,
+  /// database version, binding tags); 0 disables reduction reuse.
+  size_t reduction_cache_capacity = 64;
+  /// Canonicalize variable ids at Prepare time so isomorphic queries share
+  /// plans and cached results. Off = legacy behavior (plans compiled in
+  /// the caller's variable space); used by differential tests and the
+  /// micro_prepared baseline comparison.
+  bool canonicalize = true;
+  /// Worker threads for Submit / batches / morsel-parallel operators;
+  /// 0 = hardware concurrency. The pool starts lazily on first use.
   int num_threads = 0;
 };
 
 struct EngineStats {
   size_t queries = 0;
-  size_t batch_queries = 0;  ///< subset of `queries` served through RunBatch
+  size_t batch_queries = 0;  ///< subset of `queries` served asynchronously
+  size_t prepared_queries = 0;  ///< Prepare calls (each Run prepares once)
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
+  /// Executions whose answers were column-remapped from canonical variable
+  /// space back to the caller's variable order.
+  size_t canonical_remaps = 0;
+  /// Plan-cache hits that only exist because of canonicalization: the
+  /// hitting query's original spelling differs from the spelling that
+  /// installed the entry, so the legacy (un-canonicalized) cache key would
+  /// have missed.
+  size_t canonical_remap_hits = 0;
   size_t result_cache_hits = 0;
   size_t result_cache_misses = 0;  ///< actual computations (leaders)
   /// Requests that waited on a concurrent computation of the same subplan
@@ -73,6 +106,8 @@ struct EngineStats {
   size_t result_cache_in_flight_waits = 0;
   size_t result_cache_evictions = 0;
   size_t result_cache_entries = 0;
+  size_t reduction_cache_hits = 0;    ///< Opt. 3 reductions served cached
+  size_t reduction_cache_misses = 0;  ///< Opt. 3 reductions computed
   size_t tasks_executed = 0;  ///< scheduler tasks (query tasks + morsels)
   /// Chunked-scan counters aggregated over every evaluated plan (zone-map
   /// pruning effectiveness, chunk-parallel scan usage).
@@ -104,8 +139,48 @@ class QueryEngine {
   const Database& db() const { return *db_; }
   const EngineOptions& options() const { return opts_; }
 
+  // -------------------------------------------------------------------------
+  // Prepared-query API (primary surface)
+  // -------------------------------------------------------------------------
+
+  /// Parses, canonicalizes, and compiles `query_text` ("$k" / "?" terms are
+  /// parameter placeholders). Isomorphic queries return handles over the
+  /// same cached compiled artifact.
+  Result<PreparedQuery> Prepare(std::string_view query_text);
+
+  /// Prepares an already-parsed query.
+  Result<PreparedQuery> Prepare(const ConjunctiveQuery& q);
+
+  /// Synchronous execution with `bindings` (parameter values + per-atom
+  /// table selections). Does not consult the shared result cache — Execute
+  /// timings measure evaluation, exactly like the legacy Run.
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const Bindings& bindings = {});
+
+  /// Asynchronous execution: enqueues one pooled task and returns
+  /// immediately. Pooled executions share subplans through the result
+  /// cache. Errors are delivered per query through the future. Bound table
+  /// pointers must stay alive until the future resolves.
+  std::future<Result<QueryResult>> Submit(PreparedQuery prepared,
+                                          Bindings bindings = {});
+
+  /// Batch serving path, rebuilt on Submit: one pooled task per execution,
+  /// subplan dedup through the result cache, and the calling thread drains
+  /// queue tasks while it waits. Results align with `prepared` by index;
+  /// each query fails or succeeds independently. `bindings` is either
+  /// empty (no bindings anywhere) or one entry per query.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<PreparedQuery>& prepared,
+      const std::vector<Bindings>& bindings = {});
+
+  // -------------------------------------------------------------------------
+  // Legacy wrappers (thin shims over Prepare/Execute; kept so existing
+  // callers migrate mechanically)
+  // -------------------------------------------------------------------------
+
   /// Parses and runs a datalog query. `overrides` rebinds atoms to filtered
-  /// tables (per-query selections); pointers must stay alive for the call.
+  /// tables (per-query selections, untagged — prefer Bindings with content
+  /// tags); pointers must stay alive for the call.
   Result<QueryResult> Run(
       std::string_view query_text,
       const std::unordered_map<int, const Table*>& overrides = {});
@@ -116,17 +191,15 @@ class QueryEngine {
       const std::unordered_map<int, const Table*>& overrides = {});
 
   /// Boolean-query convenience: the propagation score as a single number
-  /// (0 when no satisfying assignment exists).
-  Result<double> RunBoolean(std::string_view query_text);
+  /// (0 when no satisfying assignment exists). Routed through the prepared
+  /// path, so bindings (parameters, tagged selections) work here too.
+  Result<double> RunBoolean(std::string_view query_text,
+                            const Bindings& bindings = {});
 
-  /// Batch serving path: evaluates all `queries`, deduplicating shared
-  /// subplans through the result cache and scheduling the per-query work
-  /// on the thread pool (morsel-parallel operators split the large joins
-  /// and groupings further). Results align with `queries` by index and
-  /// rankings are bit-identical to sequential Run calls. On any per-query
-  /// failure the whole batch returns the first error (batches are
-  /// homogeneous workloads; partial delivery is the caller's job if ever
-  /// needed).
+  /// Batch wrapper over ExecuteBatch with all-or-nothing error semantics:
+  /// on any per-query failure the whole batch returns the first error.
+  /// Results align with `queries` by index and rankings are bit-identical
+  /// to sequential Run calls. Prefer ExecuteBatch for per-query errors.
   Result<std::vector<QueryResult>> RunBatch(
       const std::vector<ConjunctiveQuery>& queries);
 
@@ -137,27 +210,27 @@ class QueryEngine {
   EngineStats stats() const;
 
  private:
-  /// A compiled query: either the single min-plan (Opt. 1) or the list of
-  /// minimal plans evaluated separately.
-  struct CompiledQuery {
-    PlanPtr single_plan;          // non-null iff opt1_single_plan
-    std::vector<PlanPtr> plans;   // used when opt1 is off
-    size_t num_minimal_plans = 0;
-  };
+  /// `original_text` is the pre-canonicalization rendering of the query
+  /// being prepared; on a hit, `renamed_hit` reports whether it differs
+  /// from the spelling that installed the entry (i.e. the hit exists only
+  /// because of canonicalization).
+  Result<std::shared_ptr<const CompiledPlans>> GetOrCompile(
+      const ConjunctiveQuery& q, const std::string& key,
+      const std::string& original_text, bool* cache_hit, bool* renamed_hit);
 
-  Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
-      const ConjunctiveQuery& q, bool* cache_hit);
+  /// Shared by Execute, Submit tasks, and the legacy wrappers. `scheduler`
+  /// enables the morsel-parallel operator paths (nullptr = sequential) and
+  /// `use_result_cache` engages the workload-shared subplan cache.
+  Result<QueryResult> ExecuteInternal(const PreparedQuery& prepared,
+                                      const Bindings& bindings,
+                                      Scheduler* scheduler,
+                                      bool use_result_cache);
 
-  /// Shared by Run and the batch tasks; `scheduler` enables the
-  /// morsel-parallel operator paths (nullptr = sequential operators) and
-  /// `use_result_cache` engages the workload-shared subplan cache. Plain
-  /// Run passes neither, so single-query evaluation keeps its exact
-  /// pre-serving semantics (strategy benchmarks and node-count tests
-  /// measure evaluation, not caching).
-  Result<QueryResult> RunInternal(
-      const ConjunctiveQuery& q,
-      const std::unordered_map<int, const Table*>& overrides,
-      Scheduler* scheduler, bool use_result_cache);
+  /// Opt. 3 support: returns the semi-join reduction of the executed query
+  /// under `overrides`, cached under `key` when non-empty.
+  Result<std::shared_ptr<const std::vector<Table>>> GetOrReduce(
+      const std::string& key, const ConjunctiveQuery& q,
+      const std::unordered_map<int, const Table*>& overrides);
 
   /// Starts the thread pool on first use.
   Scheduler* EnsureScheduler();
@@ -165,18 +238,45 @@ class QueryEngine {
   std::shared_ptr<const Database> db_;
   EngineOptions opts_;
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledQuery>>
-      plan_cache_;
-  std::vector<std::string> cache_order_;  // insertion order (FIFO eviction)
+  // Compiled-plan cache: true LRU (hits splice to the front).
+  struct PlanCacheEntry {
+    std::shared_ptr<const CompiledPlans> compiled;
+    /// Original (pre-canonicalization) spelling that installed the entry;
+    /// a hit from a different spelling is a canonicalization win.
+    std::string original_text;
+    std::list<std::string>::iterator lru_pos;
+  };
+  mutable std::mutex plan_mu_;
+  std::unordered_map<std::string, PlanCacheEntry> plan_cache_;
+  std::list<std::string> plan_lru_;  // front = most recently used
+
+  // Opt. 3 reduction cache (LRU), keyed by reduction fingerprint.
+  struct ReductionEntry {
+    std::shared_ptr<const std::vector<Table>> tables;
+    std::list<std::string>::iterator lru_pos;
+  };
+  mutable std::mutex reduction_mu_;
+  std::unordered_map<std::string, ReductionEntry> reduction_cache_;
+  std::list<std::string> reduction_lru_;  // front = most recently used
+
+  mutable std::shared_mutex mu_;          // guards scheduler_ init
   std::unique_ptr<ResultCache> result_cache_;
-  std::unique_ptr<Scheduler> scheduler_;  // lazy; guarded by mu_
   mutable std::mutex scan_mu_;            // guards scan_stats_
   ChunkedScanStats scan_stats_;
   std::atomic<size_t> queries_{0};
   std::atomic<size_t> batch_queries_{0};
+  std::atomic<size_t> prepared_{0};
   std::atomic<size_t> cache_hits_{0};
   std::atomic<size_t> cache_misses_{0};
+  std::atomic<size_t> canonical_remaps_{0};
+  std::atomic<size_t> canonical_remap_hits_{0};
+  std::atomic<size_t> reduction_hits_{0};
+  std::atomic<size_t> reduction_misses_{0};
+  /// Declared last on purpose: destroyed first, so the pool joins (running
+  /// any still-queued Submit tasks to completion) while every member those
+  /// tasks touch — caches, stats, counters — is still alive. Callers may
+  /// drop a Submit future and destroy the engine without draining it.
+  std::unique_ptr<Scheduler> scheduler_;  // lazy; guarded by mu_
 };
 
 }  // namespace dissodb

@@ -30,24 +30,41 @@ struct LeadGuard {
 
 }  // namespace
 
+std::string PlanEvaluator::SharedCacheKey(const PlanPtr& plan) {
+  std::string key = PlanFingerprint(plan, q_, &fingerprint_memo_);
+  // Tagged overrides stay shareable: the tag pins down the overridden
+  // table's content, so fingerprint+tags identifies the computation as
+  // precisely as the fingerprint alone does for catalog tables.
+  const uint64_t tagged = PlanAtomSet(plan) & override_atoms_;
+  if (tagged != 0) {
+    for (const auto& [idx, ov] : overrides_) {
+      if (idx >= 0 && idx < 64 && (tagged >> idx) & 1) {
+        key += "|o" + std::to_string(idx) + "=" + ov.tag;
+      }
+    }
+  }
+  return key;
+}
+
 Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
     const PlanPtr& plan) {
   auto it = cache_.find(plan.get());
   if (it != cache_.end()) return it->second;
 
   // Workload-level sharing (Opt. 2 across queries): non-leaf nodes whose
-  // atoms are all bound to catalog tables key into the shared result cache
-  // by their query-independent fingerprint. Scan leaves are excluded — the
-  // unfiltered ones are zero-copy already, and caching them would only
-  // evict real work. Acquire() deduplicates concurrent evaluations of one
-  // fingerprint: exactly one requester computes (the leader), concurrent
-  // ones wait on its shared_future, so identical subplans never compute
-  // twice within a batch.
+  // atoms are all bound to catalog tables — or to overrides carrying a
+  // content tag — key into the shared result cache by their
+  // query-independent fingerprint (plus the tags). Scan leaves are
+  // excluded — the unfiltered ones are zero-copy already, and caching them
+  // would only evict real work. Acquire() deduplicates concurrent
+  // evaluations of one fingerprint: exactly one requester computes (the
+  // leader), concurrent ones wait on its shared_future, so identical
+  // subplans never compute twice within a batch.
   std::string shared_key;
   LeadGuard lead;
   if (result_cache_ != nullptr && plan->kind != PlanNode::Kind::kScan &&
-      (PlanAtomSet(plan) & override_atoms_) == 0) {
-    shared_key = PlanFingerprint(plan, q_, &fingerprint_memo_);
+      (PlanAtomSet(plan) & untagged_override_atoms_) == 0) {
+    shared_key = SharedCacheKey(plan);
     ResultCache::Ticket ticket =
         result_cache_->Acquire(shared_key, db_version_);
     if (ticket.value != nullptr) {
@@ -77,7 +94,7 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
     case PlanNode::Kind::kScan: {
       const Table* override_table = nullptr;
       auto oit = overrides_.find(plan->atom_idx);
-      if (oit != overrides_.end()) override_table = oit->second;
+      if (oit != overrides_.end()) override_table = oit->second.table;
       auto rel = ScanAtom(db_, q_, plan->atom_idx, override_table, scheduler_,
                           &scan_stats_);
       if (!rel.ok()) return rel.status();
@@ -155,12 +172,12 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
 Result<Rel> EvaluatePlansSeparately(
     const Database& db, const ConjunctiveQuery& q,
     const std::vector<PlanPtr>& plans,
-    const std::unordered_map<int, const Table*>& overrides,
+    const AtomOverrides& overrides,
     ChunkedScanStats* scan_stats) {
   std::vector<Rel> results;
   for (const auto& p : plans) {
     PlanEvaluator ev(db, q);  // fresh evaluator: no cross-plan sharing
-    for (const auto& [idx, table] : overrides) ev.SetAtomTable(idx, table);
+    for (const auto& [idx, ov] : overrides) ev.SetAtomTable(idx, ov.table, ov.tag);
     auto r = ev.Evaluate(p);
     if (!r.ok()) return r.status();
     if (scan_stats != nullptr) scan_stats->MergeFrom(ev.scan_stats());

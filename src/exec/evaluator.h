@@ -9,7 +9,9 @@
 #ifndef DISSODB_EXEC_EVALUATOR_H_
 #define DISSODB_EXEC_EVALUATOR_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,21 @@ namespace dissodb {
 class ResultCache;  // src/serve/result_cache.h
 class Scheduler;    // src/serve/scheduler.h
 
+/// One per-atom table override. An empty `tag` means the table's content is
+/// not identified by anything stable, so subplans touching the atom must
+/// not be exchanged with the shared result cache. A non-empty tag asserts:
+/// two executions presenting the same tag for the same atom bind *identical
+/// table contents* — which makes bound subplans fingerprintable (the tag
+/// joins the subplan fingerprint) and restores cross-query sharing, e.g.
+/// for Opt. 3 semi-join-reduced inputs tagged by (query, db version).
+struct AtomOverride {
+  const Table* table = nullptr;
+  std::string tag;
+};
+
+/// Per-atom overrides in deterministic (ascending atom index) order.
+using AtomOverrides = std::map<int, AtomOverride>;
+
 /// \brief Evaluates plans for one query over one database.
 class PlanEvaluator {
  public:
@@ -33,12 +50,19 @@ class PlanEvaluator {
 
   /// Overrides the table bound to `atom_idx` (per-query selections or
   /// semi-join-reduced inputs). The pointer must outlive the evaluator.
-  /// Subplans touching an overridden atom are never exchanged with the
-  /// shared result cache (their scans differ from the catalog tables).
-  void SetAtomTable(int atom_idx, const Table* table) {
-    overrides_[atom_idx] = table;
+  /// With an empty `tag`, subplans touching the atom are never exchanged
+  /// with the shared result cache; a non-empty tag makes them shareable
+  /// under fingerprint+tag (see AtomOverride).
+  void SetAtomTable(int atom_idx, const Table* table, std::string tag = {}) {
+    overrides_[atom_idx] = AtomOverride{table, std::move(tag)};
     if (atom_idx >= 0 && atom_idx < 64) {
-      override_atoms_ |= uint64_t{1} << atom_idx;
+      const uint64_t bit = uint64_t{1} << atom_idx;
+      override_atoms_ |= bit;
+      if (overrides_[atom_idx].tag.empty()) {
+        untagged_override_atoms_ |= bit;
+      } else {
+        untagged_override_atoms_ &= ~bit;
+      }
     }
   }
 
@@ -71,10 +95,15 @@ class PlanEvaluator {
   const ChunkedScanStats& scan_stats() const { return scan_stats_; }
 
  private:
+  /// Result-cache key for `plan`: base fingerprint plus the tags of every
+  /// overridden atom the subplan touches.
+  std::string SharedCacheKey(const PlanPtr& plan);
+
   const Database& db_;
   const ConjunctiveQuery& q_;
-  std::unordered_map<int, const Table*> overrides_;
+  AtomOverrides overrides_;
   uint64_t override_atoms_ = 0;
+  uint64_t untagged_override_atoms_ = 0;
   std::unordered_map<const PlanNode*, std::shared_ptr<const Rel>> cache_;
   std::unordered_map<const PlanNode*, std::string> fingerprint_memo_;
   size_t nodes_evaluated_ = 0;
@@ -92,8 +121,7 @@ class PlanEvaluator {
 Result<Rel> EvaluatePlansSeparately(const Database& db,
                                     const ConjunctiveQuery& q,
                                     const std::vector<PlanPtr>& plans,
-                                    const std::unordered_map<int, const Table*>&
-                                        overrides = {},
+                                    const AtomOverrides& overrides = {},
                                     ChunkedScanStats* scan_stats = nullptr);
 
 }  // namespace dissodb

@@ -47,4 +47,26 @@ std::string Rel::ToString(const ConjunctiveQuery& q, size_t max_rows) const {
   return out;
 }
 
+Rel RemapRelVars(const Rel& in, const std::vector<VarId>& var_map) {
+  std::vector<std::pair<VarId, int>> mapped;  // (new var id, old column)
+  mapped.reserve(in.vars().size());
+  for (int c = 0; c < in.arity(); ++c) {
+    VarId v = in.vars()[c];
+    assert(v >= 0 && v < static_cast<VarId>(var_map.size()) &&
+           var_map[v] >= 0 && "remap must cover every column variable");
+    mapped.emplace_back(var_map[v], c);
+  }
+  std::sort(mapped.begin(), mapped.end());
+  std::vector<VarId> vars;
+  std::vector<ColumnPtr> cols;
+  vars.reserve(mapped.size());
+  cols.reserve(mapped.size());
+  for (const auto& [v, c] : mapped) {
+    vars.push_back(v);
+    cols.push_back(in.col(c));
+  }
+  return Rel::FromColumns(std::move(vars), std::move(cols), in.weights(),
+                          in.NumRows());
+}
+
 }  // namespace dissodb

@@ -53,6 +53,13 @@ class Rel : public ColumnarRows {
   VarMask mask_ = 0;
 };
 
+/// Renames the variables of `in` through `var_map` (var_map[v] = new id of
+/// variable v) and re-sorts the columns into the new ascending-VarId order.
+/// Zero-copy: the output shares `in`'s columns and scores. Used by the
+/// prepared-query path to map an answer relation computed in canonical
+/// variable space back to the caller's variable ids.
+Rel RemapRelVars(const Rel& in, const std::vector<VarId>& var_map);
+
 }  // namespace dissodb
 
 #endif  // DISSODB_EXEC_REL_H_

@@ -1,0 +1,79 @@
+#include "src/query/canonicalize.h"
+
+namespace dissodb {
+
+Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q) {
+  CanonicalizedQuery out;
+  out.orig_to_canon.assign(q.num_vars(), -1);
+
+  // Pass 1: assign canonical ids in first-occurrence order — atoms left to
+  // right, terms left to right, then any head-only variables in head order
+  // (parser-produced queries have none; programmatic ones might).
+  auto assign = [&](VarId v) -> Status {
+    if (v < 0 || v >= q.num_vars()) {
+      return Status::InvalidArgument("query references unknown variable id");
+    }
+    if (out.orig_to_canon[v] < 0) {
+      out.orig_to_canon[v] = static_cast<VarId>(out.canon_to_orig.size());
+      out.canon_to_orig.push_back(v);
+    }
+    return Status::OK();
+  };
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    for (const Term& t : q.atom(i).terms) {
+      if (t.is_var) DISSODB_RETURN_NOT_OK(assign(t.var));
+    }
+  }
+  for (VarId h : q.head_vars()) DISSODB_RETURN_NOT_OK(assign(h));
+
+  for (VarId c = 0; c < static_cast<VarId>(out.canon_to_orig.size()); ++c) {
+    if (out.canon_to_orig[c] != c) {
+      out.identity = false;
+      break;
+    }
+  }
+
+  // Pass 2: rebuild the query in canonical variable space.
+  ConjunctiveQuery canon;
+  canon.SetName("q");
+  for (size_t c = 0; c < out.canon_to_orig.size(); ++c) {
+    canon.AddVar("v" + std::to_string(c));
+  }
+  for (VarId h : q.head_vars()) {
+    DISSODB_RETURN_NOT_OK(canon.AddHeadVar(out.orig_to_canon[h]));
+  }
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    Atom atom = q.atom(i);
+    for (Term& t : atom.terms) {
+      if (t.is_var) t.var = out.orig_to_canon[t.var];
+    }
+    DISSODB_RETURN_NOT_OK(canon.AddAtom(std::move(atom)));
+  }
+  out.query = std::move(canon);
+  return out;
+}
+
+Result<ConjunctiveQuery> SubstituteParams(const ConjunctiveQuery& q,
+                                          const std::vector<Value>& params) {
+  if (q.num_params() == 0) return q;
+  if (static_cast<int>(params.size()) < q.num_params()) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(q.num_params()) +
+        " parameter(s) but only " + std::to_string(params.size()) +
+        " value(s) are bound");
+  }
+  ConjunctiveQuery bound;
+  bound.SetName(q.name());
+  for (VarId v = 0; v < q.num_vars(); ++v) bound.AddVar(q.var_name(v));
+  for (VarId h : q.head_vars()) DISSODB_RETURN_NOT_OK(bound.AddHeadVar(h));
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    Atom atom = q.atom(i);
+    for (Term& t : atom.terms) {
+      if (t.IsParam()) t = Term::Const(params[t.param]);
+    }
+    DISSODB_RETURN_NOT_OK(bound.AddAtom(std::move(atom)));
+  }
+  return bound;
+}
+
+}  // namespace dissodb

@@ -1,0 +1,51 @@
+// Variable-renaming-invariant canonical form of a conjunctive query.
+//
+// Two queries that differ only in variable names / interning order (and the
+// head predicate's name) are isomorphic: they compute the same answers up to
+// a permutation of the answer-tuple columns. CanonicalizeQuery renames the
+// variables of a query to v0, v1, ... in first-occurrence order (scanning
+// the atoms left to right, in atom order), so every member of an isomorphism
+// class maps to one canonical query — the key under which the QueryEngine
+// caches compiled plans and fingerprints subplan results. Atom order, term
+// structure, constants, and parameter placeholders are preserved verbatim.
+#ifndef DISSODB_QUERY_CANONICALIZE_H_
+#define DISSODB_QUERY_CANONICALIZE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+
+struct CanonicalizedQuery {
+  /// The canonical query: same atoms in the same order, variables renamed
+  /// v0.. in occurrence order, head name normalized to "q". Head variables
+  /// keep their positional order.
+  ConjunctiveQuery query;
+
+  /// orig_to_canon[v] = canonical id of original variable v, or -1 for
+  /// variables that occur nowhere (they are dropped).
+  std::vector<VarId> orig_to_canon;
+
+  /// canon_to_orig[c] = original id of canonical variable c.
+  std::vector<VarId> canon_to_orig;
+
+  /// True iff every occurring variable already had its canonical id (the
+  /// answer relation needs no column remap).
+  bool identity = true;
+};
+
+/// Canonicalizes `q`. Fails only if `q` references out-of-range variables
+/// (impossible for parser-produced queries).
+Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q);
+
+/// Replaces every parameter placeholder in `q` with its bound constant.
+/// `params[i]` is the value of placeholder $i; fails if any placeholder has
+/// no value. Returns `q` unchanged when it has no parameters.
+Result<ConjunctiveQuery> SubstituteParams(const ConjunctiveQuery& q,
+                                          const std::vector<Value>& params);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_QUERY_CANONICALIZE_H_

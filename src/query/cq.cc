@@ -52,6 +52,7 @@ Status ConjunctiveQuery::AddAtom(Atom atom) {
     if (t.is_var && (t.var < 0 || t.var >= num_vars())) {
       return Status::InvalidArgument("atom uses unknown variable id");
     }
+    if (t.IsParam() && t.param + 1 > num_params_) num_params_ = t.param + 1;
   }
   atoms_.push_back(std::move(atom));
   return Status::OK();
@@ -98,7 +99,13 @@ std::string ConjunctiveQuery::ToString() const {
     for (int j = 0; j < atoms_[i].arity(); ++j) {
       if (j > 0) out += ",";
       const Term& t = atoms_[i].terms[j];
-      out += t.is_var ? var_names_[t.var] : t.constant.ToString();
+      if (t.is_var) {
+        out += var_names_[t.var];
+      } else if (t.IsParam()) {
+        out += "$" + std::to_string(t.param);
+      } else {
+        out += t.constant.ToString();
+      }
     }
     out += ")";
   }

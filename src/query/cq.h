@@ -26,14 +26,22 @@ inline int MaskCount(VarMask m) { return __builtin_popcountll(m); }
 /// Expands a mask into a sorted vector of VarIds.
 std::vector<VarId> MaskToVars(VarMask m);
 
-/// One argument of an atom: either a variable or a constant.
+/// One argument of an atom: a variable, a constant, or a parameter
+/// placeholder ("$k" / "?" in datalog syntax) awaiting a constant from a
+/// Bindings object at execution time. Parameterized queries can be
+/// prepared/planned (a placeholder is structurally a constant) but never
+/// evaluated directly — QueryEngine substitutes bound values first.
 struct Term {
   bool is_var;
   VarId var = -1;   // valid iff is_var
-  Value constant;   // valid iff !is_var
+  Value constant;   // valid iff !is_var && param < 0
+  int param = -1;   // parameter index; >= 0 iff this is a placeholder
 
-  static Term Var(VarId v) { return Term{true, v, Value()}; }
-  static Term Const(Value c) { return Term{false, -1, c}; }
+  bool IsParam() const { return !is_var && param >= 0; }
+
+  static Term Var(VarId v) { return Term{true, v, Value(), -1}; }
+  static Term Const(Value c) { return Term{false, -1, c, -1}; }
+  static Term Param(int idx) { return Term{false, -1, Value(), idx}; }
 };
 
 /// \brief One atom R(t1,...,tk). `relation` is the relation symbol; the
@@ -67,6 +75,10 @@ class ConjunctiveQuery {
   int num_atoms() const { return static_cast<int>(atoms_.size()); }
   bool IsBoolean() const { return head_vars_.empty(); }
 
+  /// Number of parameter placeholders (1 + max param index over all atoms);
+  /// 0 for ordinary queries.
+  int num_params() const { return num_params_; }
+
   /// Mask of the head variables.
   VarMask HeadMask() const;
   /// Mask of the distinct variables of atom i.
@@ -88,6 +100,7 @@ class ConjunctiveQuery {
   std::vector<std::string> var_names_;
   std::vector<VarId> head_vars_;
   std::vector<Atom> atoms_;
+  int num_params_ = 0;
 };
 
 }  // namespace dissodb

@@ -123,6 +123,7 @@ Result<ConjunctiveQuery> ParseQueryImpl(std::string_view text,
   }
 
   // Body atoms.
+  int next_param = 0;
   for (;;) {
     std::string rel = c.Ident();
     if (rel.empty()) {
@@ -136,7 +137,32 @@ Result<ConjunctiveQuery> ParseQueryImpl(std::string_view text,
     if (!c.Consume(')')) {
       for (;;) {
         char p = c.Peek();
-        if (p == '\'') {
+        if (p == '?') {
+          // Anonymous parameter: indexes assign left to right across the
+          // whole query ("?, ?" == "$0, $1").
+          c.Consume('?');
+          atom.terms.push_back(Term::Param(next_param++));
+        } else if (p == '$') {
+          c.Consume('$');
+          bool is_double = false;
+          std::string n = c.Number(&is_double);
+          if (n.empty() || is_double || n[0] == '-' || n[0] == '+') {
+            return Status::InvalidArgument(
+                "parameter must be $<non-negative integer>");
+          }
+          // Bounded parse: a query realistically has a handful of
+          // parameters; a huge index would make Bindings::ParamVector
+          // allocate index-many slots (and > 9 digits would overflow).
+          constexpr int kMaxParamIndex = 255;
+          if (n.size() > 3 || std::stoi(n) > kMaxParamIndex) {
+            return Status::InvalidArgument(
+                "parameter index $" + n + " exceeds the maximum of $" +
+                std::to_string(kMaxParamIndex));
+          }
+          int idx = std::stoi(n);
+          atom.terms.push_back(Term::Param(idx));
+          if (idx + 1 > next_param) next_param = idx + 1;
+        } else if (p == '\'') {
           auto s = c.QuotedString();
           if (!s.ok()) return s.status();
           auto code = intern(*s);

@@ -48,6 +48,19 @@ void Scheduler::Submit(std::function<void()> fn) {
   cv_.notify_one();
 }
 
+bool Scheduler::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 namespace {
 
 /// Completion state shared between a blocking caller and its pool tasks.

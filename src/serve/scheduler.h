@@ -44,6 +44,13 @@ class Scheduler {
   /// Enqueues `fn` for execution on some pool thread.
   void Submit(std::function<void()> fn);
 
+  /// Runs one queued task on the calling thread, if any is pending; returns
+  /// whether a task ran. Lets a thread that is about to block on an
+  /// external completion (e.g. a QueryEngine::Submit future) help drain the
+  /// queue instead of idling — the work-sharing idea of ParallelFor applied
+  /// to whole queue tasks.
+  bool TryRunOne();
+
   /// Runs all of `fns` and returns when every one has finished. The calling
   /// thread participates, so this works even with zero pool threads.
   void RunAll(std::vector<std::function<void()>> fns);

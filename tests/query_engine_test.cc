@@ -76,6 +76,38 @@ TEST(QueryEngineTest, PlanCacheHitsOnRepeatedQueries) {
   EXPECT_EQ(engine.stats().plan_cache_misses, 1u);
 }
 
+TEST(QueryEngineTest, PlanCacheEvictionIsTrueLru) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}});
+  AddTable(&db, "T", 1, {{{10}, 0.6}});
+  EngineOptions opts;
+  opts.plan_cache_capacity = 2;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+
+  const std::string a = "q() :- R(x)";
+  const std::string b = "q() :- S(x,y)";
+  const std::string c = "q() :- T(x)";
+
+  ASSERT_TRUE(engine.Run(a).ok());  // cache: [A]
+  ASSERT_TRUE(engine.Run(b).ok());  // cache: [B, A]
+  // Touch A: under FIFO this would not matter; under LRU it makes B the
+  // eviction victim.
+  auto a_hit = engine.Run(a);  // cache: [A, B]
+  ASSERT_TRUE(a_hit.ok());
+  EXPECT_TRUE(a_hit->from_plan_cache);
+  ASSERT_TRUE(engine.Run(c).ok());  // evicts B -> cache: [C, A]
+
+  auto a_again = engine.Run(a);
+  ASSERT_TRUE(a_again.ok());
+  EXPECT_TRUE(a_again->from_plan_cache) << "LRU must keep the touched entry";
+  auto b_again = engine.Run(b);
+  ASSERT_TRUE(b_again.ok());
+  EXPECT_FALSE(b_again->from_plan_cache) << "LRU must have evicted B";
+  // Misses: A, B, C, and B recompiled after eviction.
+  EXPECT_EQ(engine.stats().plan_cache_misses, 4u);
+}
+
 TEST(QueryEngineTest, CacheCapacityZeroDisablesCaching) {
   Database db = RstDatabase();
   EngineOptions opts;
