@@ -141,10 +141,11 @@ int main(int argc, char** argv) {
                 s.plan_cache_hits, s.plan_cache_misses, s.canonical_remaps,
                 s.canonical_remap_hits);
     std::printf("  result cache:       %zu hits, %zu misses, %zu in-flight "
-                "waits, %zu evictions, %zu entries\n",
+                "waits, %zu evictions (%zu version-stale sweeps), "
+                "%zu entries\n",
                 s.result_cache_hits, s.result_cache_misses,
                 s.result_cache_in_flight_waits, s.result_cache_evictions,
-                s.result_cache_entries);
+                s.result_cache_stale_evictions, s.result_cache_entries);
     std::printf("  opt3 reductions:    %zu cached, %zu computed\n",
                 s.reduction_cache_hits, s.reduction_cache_misses);
     std::printf("  scheduler tasks:    %zu\n", s.tasks_executed);

@@ -59,11 +59,15 @@ class Bindings {
   /// placeholder is unbound or an index is out of range.
   Result<std::vector<Value>> ParamVector(int num_params) const;
 
-  /// Canonical fingerprint of these bindings: parameter values plus atom
-  /// content tags. nullopt iff some atom selection is untagged (the
-  /// bindings then cannot participate in result sharing). The engine keys
-  /// Opt. 3 reductions by (query, db version, this fingerprint); note that
-  /// string parameter values must be pool-interned codes to be stable.
+  /// Fingerprint of these bindings in the *caller's* index space:
+  /// parameter values plus atom content tags; nullopt iff some atom
+  /// selection is untagged (the bindings then cannot participate in
+  /// result sharing). Diagnostic/test utility — the engine does NOT use
+  /// this for its caches: it keys Opt. 3 reductions by (executed query
+  /// text, snapshot version, tags rendered at *canonical* atom indices),
+  /// so body-permuted spellings agree and distinct spellings cannot
+  /// collide. String parameter values must be pool-interned codes to be
+  /// stable across queries.
   std::optional<std::string> Fingerprint() const;
 
  private:

@@ -53,6 +53,39 @@ QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
   if (opts_.result_cache_capacity > 0) {
     result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
   }
+  if (opts_.result_cache_capacity > 0 || opts_.reduction_cache_capacity > 0) {
+    // Sweep version-stale entries (results and Opt. 3 reductions) on every
+    // commit: anything older than the oldest live snapshot can never be
+    // requested again. Registering is const-safe — observing commits
+    // mutates no data.
+    commit_hook_token_ = db_->RegisterCommitHook(
+        [this](uint64_t) { SweepStaleResults(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  if (commit_hook_token_ >= 0) {
+    db_->UnregisterCommitHook(commit_hook_token_);
+  }
+}
+
+void QueryEngine::SweepStaleResults() {
+  const uint64_t min_live = db_->OldestLiveSnapshotVersion();
+  if (result_cache_ != nullptr) {
+    result_cache_->EvictOlderThan(min_live);
+  }
+  // The Opt. 3 reduction cache is version-keyed too: reductions of dead
+  // versions are unhittable (their fingerprint embeds the version) and
+  // pin materialized reduced tables, so sweep them on the same hook.
+  std::lock_guard lock(reduction_mu_);
+  for (auto it = reduction_cache_.begin(); it != reduction_cache_.end();) {
+    if (it->second.version < min_live) {
+      reduction_lru_.erase(it->second.lru_pos);
+      it = reduction_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 QueryEngine QueryEngine::Borrow(const Database& db, EngineOptions opts) {
@@ -80,7 +113,8 @@ Result<PreparedQuery> QueryEngine::Prepare(const ConjunctiveQuery& q) {
     if (!canon.ok()) return canon.status();
     impl->canon = std::move(*canon);
   } else {
-    // Legacy mode: plans are compiled in the caller's variable space.
+    // Legacy mode: plans are compiled in the caller's variable space and
+    // the caller's body order.
     CanonicalizedQuery id;
     id.query = q;
     id.orig_to_canon.resize(q.num_vars());
@@ -88,6 +122,12 @@ Result<PreparedQuery> QueryEngine::Prepare(const ConjunctiveQuery& q) {
     for (VarId v = 0; v < q.num_vars(); ++v) {
       id.orig_to_canon[v] = v;
       id.canon_to_orig[v] = v;
+    }
+    id.atom_orig_to_canon.resize(q.num_atoms());
+    id.atom_canon_to_orig.resize(q.num_atoms());
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      id.atom_orig_to_canon[i] = i;
+      id.atom_canon_to_orig[i] = i;
     }
     impl->canon = std::move(id);
   }
@@ -130,7 +170,9 @@ Result<std::shared_ptr<const CompiledPlans>> QueryEngine::GetOrCompile(
 
   // Compile outside any lock: enumeration can be expensive and two threads
   // compiling the same key just race to an identical immutable artifact.
-  auto sk = SchemaKnowledge::FromDatabase(q, *db_);
+  // Schema knowledge reads a pinned snapshot, so Prepare is safe while
+  // writers commit.
+  auto sk = SchemaKnowledge::FromSnapshot(q, db_->snapshot());
   if (!sk.ok()) return sk.status();
 
   auto compiled = std::make_shared<CompiledPlans>();
@@ -179,10 +221,22 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& prepared,
                          /*use_result_cache=*/false);
 }
 
+Result<QueryResult> QueryEngine::Execute(const PreparedQuery& prepared,
+                                         const Bindings& bindings,
+                                         const Snapshot& snap) {
+  if (!db_->OwnsSnapshot(snap)) {
+    return Status::InvalidArgument(
+        "snapshot is empty or belongs to a different database");
+  }
+  return ExecuteInternal(prepared, bindings, /*scheduler=*/nullptr,
+                         /*use_result_cache=*/false, &snap);
+}
+
 Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
                                                  const Bindings& bindings,
                                                  Scheduler* scheduler,
-                                                 bool use_result_cache) {
+                                                 bool use_result_cache,
+                                                 const Snapshot* pinned) {
   if (!prepared.valid()) {
     return Status::InvalidArgument("executing an empty PreparedQuery handle");
   }
@@ -218,37 +272,54 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
         "bindings provide parameter values but the query has no placeholders");
   }
 
-  AtomOverrides effective = bindings.atom_overrides();
-  for (const auto& [idx, ov] : effective) {
+  // Per-atom bindings arrive in the caller's (original) body order; the
+  // canonical body may be a permutation of it (atom-order
+  // canonicalization), so remap indices before touching the catalog.
+  AtomOverrides effective;
+  for (const auto& [idx, ov] : bindings.atom_overrides()) {
     if (idx < 0 || idx >= exec_q->num_atoms() || ov.table == nullptr) {
       return Status::InvalidArgument("atom binding index out of range");
     }
+    effective[impl.canon.atom_orig_to_canon[idx]] = ov;
   }
 
-  const uint64_t version = db_->version();
+  // Pin the state to execute against: every scan, reduction, and
+  // result-cache exchange below reads exactly this snapshot.
+  const Snapshot snap = pinned != nullptr ? *pinned : db_->snapshot();
+  const uint64_t version = snap.version();
   use_result_cache = use_result_cache && params_shareable;
 
   // Opt. 3: semi-join-reduce the inputs first. When the bindings are
   // fingerprintable the reduction itself is too — reduction(query text,
-  // db version, binding fingerprint) — so reduced tables are cached across
-  // executions and the reduced subplans keep sharing results.
+  // snapshot version, binding fingerprint) — so reduced tables are cached
+  // across executions and the reduced subplans keep sharing results. The
+  // binding fingerprint renders canonical atom indices: isomorphic
+  // spellings agree on it, and distinct original orders can never collide.
   std::shared_ptr<const std::vector<Table>> reduced_shared;
   std::vector<Table> reduced_local;
   if (opts_.propagation.opt3_semijoin_reduction) {
     std::unordered_map<int, const Table*> raw;
-    for (const auto& [idx, ov] : effective) raw[idx] = ov.table;
-    const std::optional<std::string> bfp = bindings.Fingerprint();
+    bool all_tagged = true;
+    std::string bfp;
+    for (const auto& [idx, ov] : effective) {
+      raw[idx] = ov.table;
+      if (ov.tag.empty()) {
+        all_tagged = false;
+      } else {
+        bfp += "a" + std::to_string(idx) + "=" + ov.tag + ";";
+      }
+    }
     const bool taggable =
-        impl.share_results && params_shareable && bfp.has_value();
+        impl.share_results && params_shareable && all_tagged;
     std::string rtag;
     if (taggable) {
       rtag = "opt3:" + exec_q->ToString() + "@" + std::to_string(version) +
-             "|" + *bfp;
-      auto red = GetOrReduce(rtag, *exec_q, raw);
+             "|" + bfp;
+      auto red = GetOrReduce(rtag, snap, *exec_q, raw);
       if (!red.ok()) return red.status();
       reduced_shared = std::move(*red);
     } else {
-      auto red = SemiJoinReduce(*db_, *exec_q, raw);
+      auto red = SemiJoinReduce(snap, *exec_q, raw);
       if (!red.ok()) return red.status();
       reduced_local = std::move(*red);
     }
@@ -268,7 +339,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
   Rel scores(std::vector<VarId>{});
   ChunkedScanStats scan_stats;
   if (impl.compiled->single_plan) {
-    PlanEvaluator ev(*db_, *exec_q);
+    PlanEvaluator ev(snap, *exec_q);
     for (const auto& [idx, ov] : effective) {
       ev.SetAtomTable(idx, ov.table, ov.tag);
     }
@@ -283,7 +354,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
     scan_stats = ev.scan_stats();
     scores = **rel;
   } else {
-    auto rel = EvaluatePlansSeparately(*db_, *exec_q, impl.compiled->plans,
+    auto rel = EvaluatePlansSeparately(snap, *exec_q, impl.compiled->plans,
                                        effective, &scan_stats);
     if (!rel.ok()) return rel.status();
     for (const auto& p : impl.compiled->plans) {
@@ -309,7 +380,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
 }
 
 Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
-    const std::string& key, const ConjunctiveQuery& q,
+    const std::string& key, const Snapshot& snap, const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides) {
   const bool cacheable =
       !key.empty() && opts_.reduction_cache_capacity > 0;
@@ -323,7 +394,7 @@ Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
       return it->second.tables;
     }
   }
-  auto r = SemiJoinReduce(*db_, q, overrides);
+  auto r = SemiJoinReduce(snap, q, overrides);
   if (!r.ok()) return r.status();
   auto tables = std::make_shared<const std::vector<Table>>(std::move(*r));
   reduction_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -333,7 +404,7 @@ Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
     if (it != reduction_cache_.end()) return it->second.tables;  // lost race
     reduction_lru_.push_front(key);
     reduction_cache_.emplace(
-        key, ReductionEntry{tables, reduction_lru_.begin()});
+        key, ReductionEntry{tables, snap.version(), reduction_lru_.begin()});
     if (reduction_cache_.size() > opts_.reduction_cache_capacity) {
       reduction_cache_.erase(reduction_lru_.back());
       reduction_lru_.pop_back();
@@ -363,6 +434,26 @@ std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
         batch_queries_.fetch_add(1, std::memory_order_relaxed);
         return ExecuteInternal(prepared, bindings, scheduler,
                                /*use_result_cache=*/true);
+      });
+  auto future = task->get_future();
+  scheduler->Submit([task] { (*task)(); });
+  return future;
+}
+
+std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
+                                                     Bindings bindings,
+                                                     Snapshot snap) {
+  Scheduler* scheduler = EnsureScheduler();
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, scheduler, prepared = std::move(prepared),
+       bindings = std::move(bindings), snap = std::move(snap)]() {
+        batch_queries_.fetch_add(1, std::memory_order_relaxed);
+        if (!db_->OwnsSnapshot(snap)) {
+          return Result<QueryResult>(Status::InvalidArgument(
+              "snapshot is empty or belongs to a different database"));
+        }
+        return ExecuteInternal(prepared, bindings, scheduler,
+                               /*use_result_cache=*/true, &snap);
       });
   auto future = task->get_future();
   scheduler->Submit([task] { (*task)(); });
@@ -492,6 +583,7 @@ EngineStats QueryEngine::stats() const {
     s.result_cache_misses = rc.misses;
     s.result_cache_in_flight_waits = rc.in_flight_waits;
     s.result_cache_evictions = rc.evictions;
+    s.result_cache_stale_evictions = rc.stale_evictions;
     s.result_cache_entries = rc.entries;
   }
   {

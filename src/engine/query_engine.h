@@ -29,10 +29,18 @@
 // tasks on the calling thread while it waits. Rankings are bit-identical
 // to sequential Execute calls.
 //
-// Thread safety: the engine never mutates the database (string constants
-// parse through the read-only pool path), and all caches are internally
-// synchronized — any number of threads may Prepare/Execute/Submit
-// concurrently on one engine over one shared immutable Database.
+// Snapshot isolation: every execution runs against an immutable Snapshot —
+// either one the caller pinned (Execute/Submit overloads taking a
+// Snapshot) or one acquired at execution start. The engine never mutates
+// the database (string constants parse through the read-only pool path),
+// and all caches are internally synchronized — any number of threads may
+// Prepare/Execute/Submit concurrently on one engine *while writer
+// transactions commit to the underlying Database*: each execution sees
+// exactly one fully-published version, a held snapshot returns
+// bit-identical results across commits, and ResultCache entries are
+// stamped per snapshot version (entries of versions no held snapshot pins
+// are swept on commit via the database's commit hook). Do not destroy the
+// engine while a writer is mid-commit on the same database.
 #ifndef DISSODB_ENGINE_QUERY_ENGINE_H_
 #define DISSODB_ENGINE_QUERY_ENGINE_H_
 
@@ -105,6 +113,9 @@ struct EngineStats {
   /// instead of duplicating it (in-flight dedup).
   size_t result_cache_in_flight_waits = 0;
   size_t result_cache_evictions = 0;
+  /// Entries swept at commit time because their version is older than the
+  /// oldest live snapshot (no execution can ever request them again).
+  size_t result_cache_stale_evictions = 0;
   size_t result_cache_entries = 0;
   size_t reduction_cache_hits = 0;    ///< Opt. 3 reductions served cached
   size_t reduction_cache_misses = 0;  ///< Opt. 3 reductions computed
@@ -131,6 +142,7 @@ class QueryEngine {
  public:
   explicit QueryEngine(std::shared_ptr<const Database> db,
                        EngineOptions opts = {});
+  ~QueryEngine();
 
   /// Non-owning engine over a caller-kept database (examples, benches,
   /// tests). The database must outlive the engine.
@@ -152,17 +164,35 @@ class QueryEngine {
   Result<PreparedQuery> Prepare(const ConjunctiveQuery& q);
 
   /// Synchronous execution with `bindings` (parameter values + per-atom
-  /// table selections). Does not consult the shared result cache — Execute
-  /// timings measure evaluation, exactly like the legacy Run.
+  /// table selections), against a snapshot acquired at call time. Does not
+  /// consult the shared result cache — Execute timings measure evaluation,
+  /// exactly like the legacy Run.
   Result<QueryResult> Execute(const PreparedQuery& prepared,
                               const Bindings& bindings = {});
 
+  /// Synchronous execution pinned to `snap`: reads exactly that state no
+  /// matter how many commits have happened since it was acquired. Repeated
+  /// calls with one held snapshot return bit-identical results.
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const Bindings& bindings, const Snapshot& snap);
+
   /// Asynchronous execution: enqueues one pooled task and returns
-  /// immediately. Pooled executions share subplans through the result
-  /// cache. Errors are delivered per query through the future. Bound table
-  /// pointers must stay alive until the future resolves.
+  /// immediately; the execution snapshots the database when it starts.
+  /// Pooled executions share subplans through the result cache. Errors are
+  /// delivered per query through the future. Bound table pointers must
+  /// stay alive until the future resolves.
   std::future<Result<QueryResult>> Submit(PreparedQuery prepared,
                                           Bindings bindings = {});
+
+  /// Asynchronous execution pinned to `snap` (see the Execute overload).
+  /// Result-cache entries are stored under the snapshot's version, so
+  /// executions pinned to one snapshot keep sharing subplans across
+  /// concurrent commits. The task holds its own Snapshot copy, released
+  /// shortly *after* the future resolves (when the pooled task's resources
+  /// are destroyed) — so the version stays live, and its cache entries
+  /// sweep-exempt, until then.
+  std::future<Result<QueryResult>> Submit(PreparedQuery prepared,
+                                          Bindings bindings, Snapshot snap);
 
   /// Batch serving path, rebuilt on Submit: one pooled task per execution,
   /// subplan dedup through the result cache, and the calling thread drains
@@ -221,22 +251,31 @@ class QueryEngine {
   /// Shared by Execute, Submit tasks, and the legacy wrappers. `scheduler`
   /// enables the morsel-parallel operator paths (nullptr = sequential) and
   /// `use_result_cache` engages the workload-shared subplan cache.
+  /// `pinned`, if non-null, is the snapshot to execute against; otherwise
+  /// one is acquired here.
   Result<QueryResult> ExecuteInternal(const PreparedQuery& prepared,
                                       const Bindings& bindings,
                                       Scheduler* scheduler,
-                                      bool use_result_cache);
+                                      bool use_result_cache,
+                                      const Snapshot* pinned = nullptr);
 
   /// Opt. 3 support: returns the semi-join reduction of the executed query
-  /// under `overrides`, cached under `key` when non-empty.
+  /// under `overrides` against `snap`, cached under `key` when non-empty.
   Result<std::shared_ptr<const std::vector<Table>>> GetOrReduce(
-      const std::string& key, const ConjunctiveQuery& q,
+      const std::string& key, const Snapshot& snap, const ConjunctiveQuery& q,
       const std::unordered_map<int, const Table*>& overrides);
+
+  /// Commit-hook body: sweeps result-cache entries below the oldest live
+  /// snapshot version (they can never be requested again).
+  void SweepStaleResults();
 
   /// Starts the thread pool on first use.
   Scheduler* EnsureScheduler();
 
   std::shared_ptr<const Database> db_;
   EngineOptions opts_;
+  /// Registered commit hook (stale-entry sweep); -1 when no result cache.
+  int commit_hook_token_ = -1;
 
   // Compiled-plan cache: true LRU (hits splice to the front).
   struct PlanCacheEntry {
@@ -250,9 +289,13 @@ class QueryEngine {
   std::unordered_map<std::string, PlanCacheEntry> plan_cache_;
   std::list<std::string> plan_lru_;  // front = most recently used
 
-  // Opt. 3 reduction cache (LRU), keyed by reduction fingerprint.
+  // Opt. 3 reduction cache (LRU), keyed by reduction fingerprint; entries
+  // are version-stamped so the commit-hook sweep can drop reductions no
+  // held snapshot can request anymore (the fingerprint embeds the version,
+  // so a dead-version entry is unhittable and would otherwise linger).
   struct ReductionEntry {
     std::shared_ptr<const std::vector<Table>> tables;
+    uint64_t version = 0;
     std::list<std::string>::iterator lru_pos;
   };
   mutable std::mutex reduction_mu_;

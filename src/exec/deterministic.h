@@ -9,11 +9,18 @@
 #include "src/exec/rel.h"
 #include "src/query/cq.h"
 #include "src/storage/database.h"
+#include "src/storage/snapshot.h"
 
 namespace dissodb {
 
 /// Evaluates q deterministically: joins all atoms (greedy order) and
-/// projects the distinct head tuples. All scores are 1.
+/// projects the distinct head tuples. All scores are 1. Reads the pinned
+/// snapshot.
+Result<Rel> EvaluateDeterministic(
+    const Snapshot& snap, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides = {});
+
+/// Legacy shim over the live head of `db`.
 Result<Rel> EvaluateDeterministic(
     const Database& db, const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides = {});

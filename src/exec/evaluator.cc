@@ -95,8 +95,11 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       const Table* override_table = nullptr;
       auto oit = overrides_.find(plan->atom_idx);
       if (oit != overrides_.end()) override_table = oit->second.table;
-      auto rel = ScanAtom(db_, q_, plan->atom_idx, override_table, scheduler_,
-                          &scan_stats_);
+      auto rel = live_db_ != nullptr
+                     ? ScanAtom(*live_db_, q_, plan->atom_idx, override_table,
+                                scheduler_, &scan_stats_)
+                     : ScanAtom(snap_, q_, plan->atom_idx, override_table,
+                                scheduler_, &scan_stats_);
       if (!rel.ok()) return rel.status();
       result = std::make_shared<const Rel>(std::move(*rel));
       break;
@@ -169,14 +172,16 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
   return result;
 }
 
-Result<Rel> EvaluatePlansSeparately(
-    const Database& db, const ConjunctiveQuery& q,
-    const std::vector<PlanPtr>& plans,
-    const AtomOverrides& overrides,
-    ChunkedScanStats* scan_stats) {
+namespace {
+
+template <typename MakeEvaluator>
+Result<Rel> EvaluateSeparatelyImpl(const MakeEvaluator& make_evaluator,
+                                   const std::vector<PlanPtr>& plans,
+                                   const AtomOverrides& overrides,
+                                   ChunkedScanStats* scan_stats) {
   std::vector<Rel> results;
   for (const auto& p : plans) {
-    PlanEvaluator ev(db, q);  // fresh evaluator: no cross-plan sharing
+    PlanEvaluator ev = make_evaluator();  // fresh: no cross-plan sharing
     for (const auto& [idx, ov] : overrides) ev.SetAtomTable(idx, ov.table, ov.tag);
     auto r = ev.Evaluate(p);
     if (!r.ok()) return r.status();
@@ -184,6 +189,26 @@ Result<Rel> EvaluatePlansSeparately(
     results.push_back(**r);
   }
   return MinMerge(results);
+}
+
+}  // namespace
+
+Result<Rel> EvaluatePlansSeparately(
+    const Snapshot& snap, const ConjunctiveQuery& q,
+    const std::vector<PlanPtr>& plans,
+    const AtomOverrides& overrides,
+    ChunkedScanStats* scan_stats) {
+  return EvaluateSeparatelyImpl([&] { return PlanEvaluator(snap, q); }, plans,
+                                overrides, scan_stats);
+}
+
+Result<Rel> EvaluatePlansSeparately(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::vector<PlanPtr>& plans,
+    const AtomOverrides& overrides,
+    ChunkedScanStats* scan_stats) {
+  return EvaluateSeparatelyImpl([&] { return PlanEvaluator(db, q); }, plans,
+                                overrides, scan_stats);
 }
 
 }  // namespace dissodb

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -21,6 +22,7 @@
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
 #include "src/storage/database.h"
+#include "src/storage/snapshot.h"
 
 namespace dissodb {
 
@@ -42,11 +44,22 @@ struct AtomOverride {
 /// Per-atom overrides in deterministic (ascending atom index) order.
 using AtomOverrides = std::map<int, AtomOverride>;
 
-/// \brief Evaluates plans for one query over one database.
+/// \brief Evaluates plans for one query over one pinned snapshot (or, for
+/// legacy single-threaded callers, the live head of a database).
 class PlanEvaluator {
  public:
+  /// Evaluates against the pinned snapshot: every scan of every plan node
+  /// reads the same immutable state, so results are bit-identical no
+  /// matter how many commits run concurrently. The evaluator keeps its own
+  /// (cheap) Snapshot handle, so the caller's copy may go away.
+  PlanEvaluator(Snapshot snap, const ConjunctiveQuery& q)
+      : snap_(std::move(snap)), q_(q) {}
+
+  /// Legacy shim: reads the live head of `db` (no snapshot-isolation
+  /// guarantees under concurrent writers). `db` must outlive the
+  /// evaluator.
   PlanEvaluator(const Database& db, const ConjunctiveQuery& q)
-      : db_(db), q_(q) {}
+      : live_db_(&db), q_(q) {}
 
   /// Overrides the table bound to `atom_idx` (per-query selections or
   /// semi-join-reduced inputs). The pointer must outlive the evaluator.
@@ -67,8 +80,9 @@ class PlanEvaluator {
   }
 
   /// Attaches the workload-shared result cache. `db_version` must be the
-  /// Database::version() the evaluation runs against; entries are stored
-  /// and matched under that stamp.
+  /// version of the snapshot (Snapshot::version()) the evaluation runs
+  /// against; entries are stored and matched under that stamp, so a held
+  /// snapshot keeps hitting its own entries across later commits.
   void SetResultCache(ResultCache* cache, uint64_t db_version) {
     result_cache_ = cache;
     db_version_ = db_version;
@@ -99,7 +113,10 @@ class PlanEvaluator {
   /// overridden atom the subplan touches.
   std::string SharedCacheKey(const PlanPtr& plan);
 
-  const Database& db_;
+  /// Exactly one of these identifies the catalog: a pinned snapshot
+  /// (serving path) or a live database (legacy shim).
+  Snapshot snap_;
+  const Database* live_db_ = nullptr;
   const ConjunctiveQuery& q_;
   AtomOverrides overrides_;
   uint64_t override_atoms_ = 0;
@@ -117,7 +134,15 @@ class PlanEvaluator {
 /// Evaluates each plan independently (no sharing) and min-merges the
 /// per-answer scores: the naive "evaluate all minimal plans" strategy that
 /// Opt. 1-3 improve upon. `scan_stats`, if given, accumulates the chunked
-/// scan counters across all per-plan evaluators.
+/// scan counters across all per-plan evaluators. All plans read the one
+/// pinned snapshot.
+Result<Rel> EvaluatePlansSeparately(const Snapshot& snap,
+                                    const ConjunctiveQuery& q,
+                                    const std::vector<PlanPtr>& plans,
+                                    const AtomOverrides& overrides = {},
+                                    ChunkedScanStats* scan_stats = nullptr);
+
+/// Legacy shim over the live head of `db`.
 Result<Rel> EvaluatePlansSeparately(const Database& db,
                                     const ConjunctiveQuery& q,
                                     const std::vector<PlanPtr>& plans,

@@ -10,6 +10,7 @@
 #include "src/exec/rel.h"
 #include "src/query/cq.h"
 #include "src/storage/database.h"
+#include "src/storage/snapshot.h"
 
 namespace dissodb {
 
@@ -59,8 +60,10 @@ struct ChunkedScanStats {
 
 /// Scans the table bound to atom `atom_idx`, applying constant selections
 /// and repeated-variable equalities, and emitting the atom's distinct
-/// variables as columns. `table` overrides the catalog binding (used for
-/// per-query selections and semi-join-reduced inputs).
+/// variables as columns. The catalog binding resolves against `snap` — an
+/// immutable snapshot, so concurrent commits cannot change what a scan
+/// reads mid-flight; `table` overrides it (per-query selections and
+/// semi-join-reduced inputs).
 ///
 /// The unfiltered scan is zero-copy. The filtered scan is chunk-at-a-time:
 /// per-chunk zone maps prune chunks that cannot contain a constant
@@ -70,6 +73,14 @@ struct ChunkedScanStats {
 /// concatenate in chunk order, so the emitted Rel is bit-identical (row
 /// order included) with or without a scheduler. `stats`, if given,
 /// accumulates the chunk counters.
+Result<Rel> ScanAtom(const Snapshot& snap, const ConjunctiveQuery& q,
+                     int atom_idx, const Table* table = nullptr,
+                     Scheduler* scheduler = nullptr,
+                     ChunkedScanStats* stats = nullptr);
+
+/// Legacy shim: identical semantics, resolving the catalog binding against
+/// the live head of `db` (single-threaded callers, tests, benches — no
+/// snapshot-isolation guarantees under concurrent writers).
 Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                      int atom_idx, const Table* table = nullptr,
                      Scheduler* scheduler = nullptr,

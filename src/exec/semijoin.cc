@@ -41,12 +41,13 @@ Table FilterAtomTable(const Table& src, const Atom& a) {
   return src.Select(sel);
 }
 
-}  // namespace
-
-Result<std::vector<Table>> SemiJoinReduce(
-    const Database& db, const ConjunctiveQuery& q,
+/// Resolves each atom's source table (override first, then `get_table`) and
+/// applies the atom-local filters; shared by both public overloads.
+template <typename GetTable>
+Result<std::vector<Table>> ResolveAndFilter(
+    const GetTable& get_table, const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides,
-    SemiJoinStats* stats, int max_passes) {
+    SemiJoinStats* stats) {
   const int m = q.num_atoms();
   std::vector<Table> tables;
   tables.reserve(m);
@@ -56,7 +57,7 @@ Result<std::vector<Table>> SemiJoinReduce(
     if (it != overrides.end()) {
       src = it->second;
     } else {
-      auto t = db.GetTable(q.atom(i).relation);
+      auto t = get_table(q.atom(i).relation);
       if (!t.ok()) return t.status();
       src = *t;
     }
@@ -69,6 +70,14 @@ Result<std::vector<Table>> SemiJoinReduce(
     tables.push_back(FilterAtomTable(*src, q.atom(i)));
     if (stats) stats->rows_before.push_back(tables.back().NumRows());
   }
+  return tables;
+}
+
+Result<std::vector<Table>> ReduceResolved(std::vector<Table> tables,
+                                          const ConjunctiveQuery& q,
+                                          SemiJoinStats* stats,
+                                          int max_passes) {
+  const int m = q.num_atoms();
 
   // Shared-variable pairs.
   struct Pair {
@@ -131,6 +140,30 @@ Result<std::vector<Table>> SemiJoinReduce(
     for (int i = 0; i < m; ++i) stats->rows_after.push_back(tables[i].NumRows());
   }
   return tables;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> SemiJoinReduce(
+    const Snapshot& snap, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides,
+    SemiJoinStats* stats, int max_passes) {
+  auto tables = ResolveAndFilter(
+      [&](const std::string& name) { return snap.GetTable(name); }, q,
+      overrides, stats);
+  if (!tables.ok()) return tables;
+  return ReduceResolved(std::move(*tables), q, stats, max_passes);
+}
+
+Result<std::vector<Table>> SemiJoinReduce(
+    const Database& db, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides,
+    SemiJoinStats* stats, int max_passes) {
+  auto tables = ResolveAndFilter(
+      [&](const std::string& name) { return db.GetTable(name); }, q,
+      overrides, stats);
+  if (!tables.ok()) return tables;
+  return ReduceResolved(std::move(*tables), q, stats, max_passes);
 }
 
 }  // namespace dissodb

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/query/cq.h"
 #include "src/storage/database.h"
+#include "src/storage/snapshot.h"
 
 namespace dissodb {
 
@@ -27,7 +28,16 @@ struct SemiJoinStats {
 /// repeatedly removes from each atom's table the tuples with no match in
 /// some other atom on their shared variables. Returns one reduced table per
 /// atom. For acyclic (e.g. hierarchical or chain/star) queries two passes
-/// reach the full reduction.
+/// reach the full reduction. Catalog bindings resolve against the pinned
+/// snapshot `snap`, so a reduction is internally consistent no matter how
+/// many commits run concurrently.
+Result<std::vector<Table>> SemiJoinReduce(
+    const Snapshot& snap, const ConjunctiveQuery& q,
+    const std::unordered_map<int, const Table*>& overrides = {},
+    SemiJoinStats* stats = nullptr, int max_passes = 4);
+
+/// Legacy shim resolving against the live head of `db` (single-threaded
+/// callers; no snapshot-isolation guarantees under concurrent writers).
 Result<std::vector<Table>> SemiJoinReduce(
     const Database& db, const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides = {},

@@ -46,6 +46,10 @@ struct SchemaKnowledge {
   /// fixed by the atom), making the FD strictly more useful.
   static Result<SchemaKnowledge> FromDatabase(const ConjunctiveQuery& q,
                                               const Database& db);
+
+  /// Same, reading a pinned snapshot's catalog (safe while writers commit).
+  static Result<SchemaKnowledge> FromSnapshot(const ConjunctiveQuery& q,
+                                              const Snapshot& snap);
 };
 
 /// Work atoms of `q` (no dissociation), with probabilistic flags from `sk`.

@@ -1,14 +1,34 @@
 #include "src/query/canonicalize.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace dissodb {
 
 Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q) {
   CanonicalizedQuery out;
   out.orig_to_canon.assign(q.num_vars(), -1);
 
-  // Pass 1: assign canonical ids in first-occurrence order — atoms left to
-  // right, terms left to right, then any head-only variables in head order
-  // (parser-produced queries have none; programmatic ones might).
+  // Pass 0: canonical body order — sort atoms by relation symbol (stable,
+  // so atoms over the same relation keep their spelled relative order).
+  // Body-permuted spellings of one query then share a canonical form, one
+  // plan-cache entry, and identical fingerprints.
+  out.atom_canon_to_orig.resize(q.num_atoms());
+  std::iota(out.atom_canon_to_orig.begin(), out.atom_canon_to_orig.end(), 0);
+  std::stable_sort(out.atom_canon_to_orig.begin(),
+                   out.atom_canon_to_orig.end(), [&](int a, int b) {
+                     return q.atom(a).relation < q.atom(b).relation;
+                   });
+  out.atom_orig_to_canon.resize(q.num_atoms());
+  for (int c = 0; c < q.num_atoms(); ++c) {
+    out.atom_orig_to_canon[out.atom_canon_to_orig[c]] = c;
+    if (out.atom_canon_to_orig[c] != c) out.atoms_reordered = true;
+  }
+
+  // Pass 1: assign canonical ids in first-occurrence order — atoms in
+  // canonical body order, terms left to right, then any head-only
+  // variables in head order (parser-produced queries have none;
+  // programmatic ones might).
   auto assign = [&](VarId v) -> Status {
     if (v < 0 || v >= q.num_vars()) {
       return Status::InvalidArgument("query references unknown variable id");
@@ -19,8 +39,8 @@ Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q) {
     }
     return Status::OK();
   };
-  for (int i = 0; i < q.num_atoms(); ++i) {
-    for (const Term& t : q.atom(i).terms) {
+  for (int c = 0; c < q.num_atoms(); ++c) {
+    for (const Term& t : q.atom(out.atom_canon_to_orig[c]).terms) {
       if (t.is_var) DISSODB_RETURN_NOT_OK(assign(t.var));
     }
   }
@@ -33,7 +53,7 @@ Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q) {
     }
   }
 
-  // Pass 2: rebuild the query in canonical variable space.
+  // Pass 2: rebuild the query in canonical variable and body space.
   ConjunctiveQuery canon;
   canon.SetName("q");
   for (size_t c = 0; c < out.canon_to_orig.size(); ++c) {
@@ -42,8 +62,8 @@ Result<CanonicalizedQuery> CanonicalizeQuery(const ConjunctiveQuery& q) {
   for (VarId h : q.head_vars()) {
     DISSODB_RETURN_NOT_OK(canon.AddHeadVar(out.orig_to_canon[h]));
   }
-  for (int i = 0; i < q.num_atoms(); ++i) {
-    Atom atom = q.atom(i);
+  for (int c = 0; c < q.num_atoms(); ++c) {
+    Atom atom = q.atom(out.atom_canon_to_orig[c]);
     for (Term& t : atom.terms) {
       if (t.is_var) t.var = out.orig_to_canon[t.var];
     }

@@ -1,13 +1,22 @@
-// Variable-renaming-invariant canonical form of a conjunctive query.
+// Variable-renaming- and body-order-invariant canonical form of a
+// conjunctive query.
 //
-// Two queries that differ only in variable names / interning order (and the
-// head predicate's name) are isomorphic: they compute the same answers up to
-// a permutation of the answer-tuple columns. CanonicalizeQuery renames the
-// variables of a query to v0, v1, ... in first-occurrence order (scanning
-// the atoms left to right, in atom order), so every member of an isomorphism
-// class maps to one canonical query — the key under which the QueryEngine
-// caches compiled plans and fingerprints subplan results. Atom order, term
-// structure, constants, and parameter placeholders are preserved verbatim.
+// Two queries that differ only in variable names / interning order, the
+// head predicate's name, or the order their body atoms are spelled in are
+// isomorphic: they compute the same answers up to a permutation of the
+// answer-tuple columns. CanonicalizeQuery first sorts the body atoms by
+// relation symbol, then renames the variables to v0, v1, ... in
+// first-occurrence order over the sorted body, so every member of an
+// isomorphism class maps to one canonical query — the key under which the
+// QueryEngine caches compiled plans and fingerprints subplan results.
+// The relation-symbol sort is a total order because queries are
+// self-join-free (ConjunctiveQuery::AddAtom rejects repeated relations);
+// the stable tie-break merely keeps the spelled order defensively if that
+// invariant ever relaxes — permutations of hypothetical same-relation
+// atoms would then NOT be unified. Term structure, constants, and
+// parameter placeholders are preserved verbatim; the orig<->canon atom
+// maps let the engine remap per-atom bindings, which callers express in
+// the original body order.
 #ifndef DISSODB_QUERY_CANONICALIZE_H_
 #define DISSODB_QUERY_CANONICALIZE_H_
 
@@ -19,9 +28,9 @@
 namespace dissodb {
 
 struct CanonicalizedQuery {
-  /// The canonical query: same atoms in the same order, variables renamed
-  /// v0.. in occurrence order, head name normalized to "q". Head variables
-  /// keep their positional order.
+  /// The canonical query: body atoms sorted by relation symbol, variables
+  /// renamed v0.. in occurrence order over the sorted body, head name
+  /// normalized to "q". Head variables keep their positional order.
   ConjunctiveQuery query;
 
   /// orig_to_canon[v] = canonical id of original variable v, or -1 for
@@ -31,9 +40,18 @@ struct CanonicalizedQuery {
   /// canon_to_orig[c] = original id of canonical variable c.
   std::vector<VarId> canon_to_orig;
 
+  /// atom_orig_to_canon[i] = position of original body atom i in the
+  /// canonical (sorted) body; atom_canon_to_orig is its inverse. Per-atom
+  /// bindings arrive in original order and are remapped through this.
+  std::vector<int> atom_orig_to_canon;
+  std::vector<int> atom_canon_to_orig;
+
   /// True iff every occurring variable already had its canonical id (the
   /// answer relation needs no column remap).
   bool identity = true;
+
+  /// True iff sorting permuted the body (bindings then need the atom maps).
+  bool atoms_reordered = false;
 };
 
 /// Canonicalizes `q`. Fails only if `q` references out-of-range variables

@@ -1,20 +1,14 @@
 #include "src/serve/result_cache.h"
 
+#include <algorithm>
+
 namespace dissodb {
 
 std::shared_ptr<const Rel> ResultCache::Get(const std::string& key,
                                             uint64_t db_version) {
   std::lock_guard lock(mu_);
-  auto it = map_.find(key);
+  auto it = map_.find(VersionedKey(key, db_version));
   if (it == map_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  if (it->second.db_version != db_version) {
-    // Stale: computed against an older database. Never serve it.
-    lru_.erase(it->second.lru_pos);
-    map_.erase(it);
-    ++evictions_;
     ++misses_;
     return nullptr;
   }
@@ -26,15 +20,16 @@ std::shared_ptr<const Rel> ResultCache::Get(const std::string& key,
 void ResultCache::PutLocked(const std::string& key, uint64_t db_version,
                             std::shared_ptr<const Rel> rel) {
   if (capacity_ == 0) return;
-  auto it = map_.find(key);
+  const std::string vk = VersionedKey(key, db_version);
+  auto it = map_.find(vk);
   if (it != map_.end()) {
-    it->second.db_version = db_version;
     it->second.rel = std::move(rel);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
-  lru_.push_front(key);
-  map_.emplace(key, Entry{db_version, std::move(rel), lru_.begin()});
+  lru_.push_front(vk);
+  map_.emplace(vk, Entry{db_version, std::move(rel), lru_.begin()});
+  min_entry_version_ = std::min(min_entry_version_, db_version);
   if (map_.size() > capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
@@ -52,17 +47,13 @@ ResultCache::Ticket ResultCache::Acquire(const std::string& key,
                                          uint64_t db_version) {
   Ticket ticket;
   std::lock_guard lock(mu_);
-  auto it = map_.find(key);
+  const std::string vk = VersionedKey(key, db_version);
+  auto it = map_.find(vk);
   if (it != map_.end()) {
-    if (it->second.db_version == db_version) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++hits_;
-      ticket.value = it->second.rel;
-      return ticket;
-    }
-    lru_.erase(it->second.lru_pos);
-    map_.erase(it);
-    ++evictions_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++hits_;
+    ticket.value = it->second.rel;
+    return ticket;
   }
   if (capacity_ == 0) {
     // Cache disabled: every requester computes (and Put drops), exactly the
@@ -71,8 +62,7 @@ ResultCache::Ticket ResultCache::Acquire(const std::string& key,
     ticket.leader = true;
     return ticket;
   }
-  const std::string fk = InFlightKey(key, db_version);
-  auto fit = in_flight_.find(fk);
+  auto fit = in_flight_.find(vk);
   if (fit != in_flight_.end()) {
     ++in_flight_waits_;
     ticket.pending = fit->second->future;
@@ -80,7 +70,7 @@ ResultCache::Ticket ResultCache::Acquire(const std::string& key,
   }
   auto entry = std::make_shared<InFlight>();
   entry->future = entry->promise.get_future().share();
-  in_flight_.emplace(fk, std::move(entry));
+  in_flight_.emplace(vk, std::move(entry));
   ++misses_;
   ticket.leader = true;
   return ticket;
@@ -94,7 +84,7 @@ void ResultCache::Complete(const std::string& key, uint64_t db_version,
     // Publish before retiring the in-flight entry: an Acquire that misses
     // the in-flight map must find the stored value.
     PutLocked(key, db_version, rel);
-    auto it = in_flight_.find(InFlightKey(key, db_version));
+    auto it = in_flight_.find(VersionedKey(key, db_version));
     if (it != in_flight_.end()) {
       entry = std::move(it->second);
       in_flight_.erase(it);
@@ -108,7 +98,7 @@ void ResultCache::Abandon(const std::string& key, uint64_t db_version) {
   std::shared_ptr<InFlight> entry;
   {
     std::lock_guard lock(mu_);
-    auto it = in_flight_.find(InFlightKey(key, db_version));
+    auto it = in_flight_.find(VersionedKey(key, db_version));
     if (it != in_flight_.end()) {
       entry = std::move(it->second);
       in_flight_.erase(it);
@@ -117,10 +107,35 @@ void ResultCache::Abandon(const std::string& key, uint64_t db_version) {
   if (entry) entry->promise.set_value(nullptr);
 }
 
+size_t ResultCache::EvictOlderThan(uint64_t min_live_version) {
+  std::lock_guard lock(mu_);
+  // Fast path for the common no-op sweep: min_entry_version_ is a lower
+  // bound on every stored version, so commits with nothing stale skip the
+  // O(entries) scan (readers never stall behind them).
+  if (map_.empty() || min_entry_version_ >= min_live_version) return 0;
+  size_t swept = 0;
+  uint64_t new_min = ~uint64_t{0};
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.db_version < min_live_version) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+      ++swept;
+    } else {
+      new_min = std::min(new_min, it->second.db_version);
+      ++it;
+    }
+  }
+  min_entry_version_ = map_.empty() ? ~uint64_t{0} : new_min;
+  evictions_ += swept;
+  stale_evictions_ += swept;
+  return swept;
+}
+
 void ResultCache::Clear() {
   std::lock_guard lock(mu_);
   map_.clear();
   lru_.clear();
+  min_entry_version_ = ~uint64_t{0};
   // In-flight computations are left to their leaders: Complete/Abandon
   // still finds (or tolerates missing) entries and waiters still wake.
 }
@@ -132,6 +147,7 @@ ResultCacheStats ResultCache::stats() const {
   s.misses = misses_;
   s.in_flight_waits = in_flight_waits_;
   s.evictions = evictions_;
+  s.stale_evictions = stale_evictions_;
   s.entries = map_.size();
   return s;
 }

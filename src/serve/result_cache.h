@@ -1,9 +1,13 @@
 // Bounded, thread-safe cache of evaluated subplan relations, shared across
 // queries — the paper's Opt. 2 (reuse common subplans) lifted from one plan
 // DAG to the whole workload. Entries are keyed by the query-independent plan
-// fingerprint (PlanFingerprint) and stamped with the database version they
-// were computed against; a version mismatch is a miss and evicts the stale
-// entry, so mutating the database can never serve stale results.
+// fingerprint (PlanFingerprint) *and* the snapshot version they were
+// computed against, so a mutation can never serve stale results — and
+// several versions may coexist: executions against a held (older) snapshot
+// keep hitting their own entries while executions against the live head
+// populate the new version's. Versions no held snapshot pins anymore are
+// swept by EvictOlderThan (driven from the database's commit hook);
+// anything it misses falls to ordinary LRU pressure.
 //
 // Values are shared_ptr<const Rel>: immutable, so a hit is a pointer copy
 // and concurrent readers need no further synchronization.
@@ -35,6 +39,10 @@ struct ResultCacheStats {
   size_t misses = 0;  ///< leader acquisitions, i.e. actual computations
   size_t in_flight_waits = 0;  ///< requests that waited on a leader instead
   size_t evictions = 0;  ///< capacity evictions + stale-version discards
+  /// Entries proactively swept by EvictOlderThan (commit-time sweep of
+  /// versions no held snapshot can request anymore). Also counted in
+  /// `evictions`.
+  size_t stale_evictions = 0;
   size_t entries = 0;
 };
 
@@ -57,7 +65,8 @@ class ResultCache {
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached relation for `key` computed at `db_version`, or
-  /// nullptr. A version mismatch discards the stale entry.
+  /// nullptr. Entries for other versions are untouched (they may serve
+  /// executions pinned to other snapshots).
   std::shared_ptr<const Rel> Get(const std::string& key, uint64_t db_version);
 
   /// Inserts (or refreshes) `rel` for `key` at `db_version`.
@@ -77,6 +86,13 @@ class ResultCache {
   /// locally) and retires the in-flight entry.
   void Abandon(const std::string& key, uint64_t db_version);
 
+  /// Sweeps every entry whose version is below `min_live_version` (the
+  /// oldest version any held snapshot still pins — such entries can never
+  /// be requested again, but would otherwise linger until LRU pressure).
+  /// The serving layer calls this from the database's commit hook. Returns
+  /// the number of entries swept (also surfaced as stats().stale_evictions).
+  size_t EvictOlderThan(uint64_t min_live_version);
+
   void Clear();
   ResultCacheStats stats() const;
   size_t capacity() const { return capacity_; }
@@ -93,10 +109,11 @@ class ResultCache {
     std::shared_future<std::shared_ptr<const Rel>> future;
   };
 
-  /// In-flight computations are keyed per (key, version): a mid-batch
-  /// database mutation starts an independent computation rather than
-  /// handing waiters a stale-version result.
-  static std::string InFlightKey(const std::string& key, uint64_t db_version) {
+  /// Stored entries and in-flight computations are both keyed per
+  /// (key, version): entries for several live snapshot versions coexist,
+  /// and a mid-batch commit starts an independent computation rather than
+  /// handing waiters another version's result.
+  static std::string VersionedKey(const std::string& key, uint64_t db_version) {
     return key + '@' + std::to_string(db_version);
   }
 
@@ -106,6 +123,10 @@ class ResultCache {
 
   const size_t capacity_;
   mutable std::mutex mu_;
+  /// Lower bound on every stored entry's version (exact after a sweep,
+  /// conservative after LRU evictions): lets EvictOlderThan skip the scan
+  /// when nothing can be stale. ~0 when empty.
+  uint64_t min_entry_version_ = ~uint64_t{0};
   std::unordered_map<std::string, Entry> map_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
@@ -113,6 +134,7 @@ class ResultCache {
   size_t misses_ = 0;
   size_t in_flight_waits_ = 0;
   size_t evictions_ = 0;
+  size_t stale_evictions_ = 0;
 };
 
 }  // namespace dissodb

@@ -31,6 +31,16 @@
 // `shared_ptr<const Rel>` and never mutated, and morsel-parallel operators
 // write only to task-private buffers or disjoint chunks. The CI tsan job
 // runs the engine/serve tests under -fsanitize=thread to keep this honest.
+//
+// Seal-on-publish: the snapshot/writer layer (src/storage/snapshot.h,
+// Database::Writer) extends the same contract to base tables. Publishing a
+// snapshot copies each Table shallowly under the database's state lock, so
+// every chunk a snapshot can reach is shared (use_count > 1) and therefore
+// *effectively sealed*: any later append — through a Writer's staged copy
+// or the live head — observes the sharing and detaches before writing.
+// Chunks reachable from a published snapshot are never mutated, which is
+// what makes held-snapshot reads bit-identical across concurrent commits
+// without any further locking.
 #ifndef DISSODB_STORAGE_COLUMNAR_H_
 #define DISSODB_STORAGE_COLUMNAR_H_
 

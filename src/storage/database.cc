@@ -1,42 +1,275 @@
 #include "src/storage/database.h"
 
+#include <utility>
+
 namespace dissodb {
 
-int64_t StringPool::Intern(const std::string& s) {
-  auto it = index_.find(s);
-  if (it != index_.end()) return it->second;
-  int64_t code = static_cast<int64_t>(strings_.size());
-  strings_.push_back(s);
-  index_.emplace(s, code);
-  return code;
+Database::Database()
+    : by_name_(std::make_shared<std::unordered_map<std::string, int>>()),
+      strings_(std::make_shared<StringPool>()),
+      registry_(std::make_shared<SnapshotRegistry>()) {}
+
+Database::Database(Database&& o) noexcept
+    : tables_(std::move(o.tables_)),
+      by_name_(std::move(o.by_name_)),
+      strings_(std::move(o.strings_)),
+      registry_(std::move(o.registry_)),
+      hooks_(std::move(o.hooks_)),
+      next_hook_token_(o.next_hook_token_) {
+  version_.store(o.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
 }
 
-int64_t StringPool::Find(const std::string& s) const {
-  auto it = index_.find(s);
-  return it == index_.end() ? -1 : it->second;
+Database& Database::operator=(Database&& o) noexcept {
+  if (this == &o) return *this;
+  tables_ = std::move(o.tables_);
+  by_name_ = std::move(o.by_name_);
+  strings_ = std::move(o.strings_);
+  registry_ = std::move(o.registry_);
+  hooks_ = std::move(o.hooks_);
+  next_hook_token_ = o.next_hook_token_;
+  version_.store(o.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  return *this;
 }
 
-Result<int> Database::AddTable(Table table) {
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+Snapshot Database::snapshot() const {
+  std::lock_guard lock(state_mu_);
+  // O(#tables) shallow Table copies: each copy shares every column (and
+  // through it every sealed chunk) by shared_ptr — no payload is touched.
+  // The copy decouples the snapshot from the live head: later mutations
+  // copy-on-write-detach inside the live tables and never reach these.
+  // States are rebuilt per acquisition rather than cached so that rows
+  // loaded through a retained CreateTable()/mutable_table() pointer (the
+  // seed loading pattern, which bumps no version) stay visible to the
+  // next snapshot; the name index and string pool are shared, not copied.
+  std::vector<std::shared_ptr<const Table>> tables;
+  tables.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    tables.push_back(std::make_shared<const Table>(*t));
+  }
+  return Snapshot(std::make_shared<const SnapshotState>(
+      std::move(tables), by_name_, strings_,
+      version_.load(std::memory_order_acquire), registry_));
+}
+
+uint64_t Database::OldestLiveSnapshotVersion() const {
+  return registry_->OldestOr(version());
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+Database::Writer::Writer(Database* db)
+    : db_(db), lock_(db->writer_mu_), base_(db->snapshot()) {}
+
+Database::Writer::Writer(Writer&& o) noexcept
+    : db_(std::exchange(o.db_, nullptr)),
+      lock_(std::move(o.lock_)),
+      base_(std::move(o.base_)),
+      staged_(std::move(o.staged_)),
+      added_(std::move(o.added_)),
+      added_by_name_(std::move(o.added_by_name_)) {}
+
+Database::Writer::~Writer() {
+  if (db_ != nullptr) Abort();
+}
+
+Result<int> Database::Writer::AddTable(Table table) {
   const std::string name = table.schema().name;  // copy before the move below
-  if (by_name_.count(name)) {
+  if (base_.FindTable(name) >= 0 || added_by_name_.count(name)) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
-  int idx = static_cast<int>(tables_.size());
-  tables_.push_back(std::make_unique<Table>(std::move(table)));
-  by_name_.emplace(name, idx);
-  ++version_;
+  int idx = base_.NumTables() + static_cast<int>(added_.size());
+  added_.emplace_back(name, std::make_shared<Table>(std::move(table)));
+  added_by_name_.emplace(name, idx);
   return idx;
+}
+
+Result<Table*> Database::Writer::CreateTable(RelationSchema schema) {
+  auto r = AddTable(Table(std::move(schema)));
+  if (!r.ok()) return r.status();
+  return added_.back().second.get();
+}
+
+Table* Database::Writer::mutable_table(int idx) {
+  const int base_n = base_.NumTables();
+  if (idx >= base_n) {
+    return added_[idx - base_n].second.get();
+  }
+  auto it = staged_.find(idx);
+  if (it == staged_.end()) {
+    // Copy-on-write staging: a shallow copy of the pinned base table.
+    // Sealed chunks stay shared with every snapshot; the first append to a
+    // column detaches only its tail chunk.
+    it = staged_.emplace(idx, std::make_shared<Table>(base_.table(idx))).first;
+  }
+  return it->second.get();
+}
+
+Result<Table*> Database::Writer::GetTableForWrite(const std::string& name) {
+  int idx = FindTable(name);
+  if (idx < 0) return Status::NotFound("no table named " + name);
+  return mutable_table(idx);
+}
+
+void Database::Writer::ScaleProbabilities(double f) {
+  for (int i = 0; i < NumTables(); ++i) {
+    // Deterministic tables pin p = 1; don't stage (and republish) a copy
+    // just to run a no-op.
+    if (table(i).schema().deterministic) continue;
+    mutable_table(i)->ScaleProbabilities(f);
+  }
+}
+
+Value Database::Writer::Str(const std::string& s) {
+  return Value::StringCode(db_->strings_->Intern(s));
+}
+
+int Database::Writer::NumTables() const {
+  return base_.NumTables() + static_cast<int>(added_.size());
+}
+
+const Table& Database::Writer::table(int idx) const {
+  const int base_n = base_.NumTables();
+  if (idx >= base_n) return *added_[idx - base_n].second;
+  auto it = staged_.find(idx);
+  return it != staged_.end() ? *it->second : base_.table(idx);
+}
+
+int Database::Writer::FindTable(const std::string& name) const {
+  auto it = added_by_name_.find(name);
+  if (it != added_by_name_.end()) return it->second;
+  return base_.FindTable(name);
+}
+
+uint64_t Database::Writer::Commit() {
+  Database* db = std::exchange(db_, nullptr);
+  const uint64_t version = db->Publish(staged_, added_);
+  staged_.clear();
+  added_.clear();
+  added_by_name_.clear();
+  // Drop the pinned base before hooks run: the writer must not count as a
+  // live snapshot when the serving layer sweeps stale cache versions.
+  base_ = Snapshot();
+  lock_.unlock();  // let the next writer in before hooks run
+  db->RunCommitHooks(version);
+  return version;
+}
+
+void Database::Writer::Abort() {
+  db_ = nullptr;
+  staged_.clear();
+  added_.clear();
+  added_by_name_.clear();
+  base_ = Snapshot();
+  if (lock_.owns_lock()) lock_.unlock();
+}
+
+Database::Writer Database::BeginWrite() { return Writer(this); }
+
+uint64_t Database::Publish(
+    const std::unordered_map<int, std::shared_ptr<Table>>& staged,
+    const std::vector<std::pair<std::string, std::shared_ptr<Table>>>& added) {
+  std::lock_guard lock(state_mu_);
+  for (const auto& [idx, t] : staged) {
+    // Shallow assignment: the live Table object keeps its address (legacy
+    // pointers stay valid) and adopts the staged columns; previously
+    // acquired snapshots hold their own copies and are unaffected.
+    *tables_[idx] = *t;
+  }
+  if (!added.empty()) {
+    // Copy-on-write on the shared name index: snapshots keep their own.
+    auto names = std::make_shared<std::unordered_map<std::string, int>>(
+        *by_name_);
+    for (const auto& [name, t] : added) {
+      names->emplace(name, static_cast<int>(tables_.size()));
+      tables_.push_back(t);  // adopt the staged object as the live table
+    }
+    by_name_ = std::move(names);
+  }
+  return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Commit hooks
+// ---------------------------------------------------------------------------
+
+int Database::RegisterCommitHook(CommitHook hook) const {
+  std::lock_guard lock(hooks_mu_);
+  int token = next_hook_token_++;
+  hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void Database::UnregisterCommitHook(int token) const {
+  std::lock_guard lock(hooks_mu_);
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->first == token) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Database::RunCommitHooks(uint64_t version) const {
+  // Invoked under hooks_mu_ so UnregisterCommitHook is synchronizing:
+  // once it returns, no hook invocation is in flight and the owner may be
+  // destroyed. Hooks therefore must not (un)register hooks or commit to
+  // this database themselves.
+  std::lock_guard lock(hooks_mu_);
+  for (const auto& [token, hook] : hooks_) hook(version);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy mutation shims
+// ---------------------------------------------------------------------------
+
+Result<int> Database::AddTable(Table table) {
+  Writer w = BeginWrite();
+  auto r = w.AddTable(std::move(table));
+  if (!r.ok()) return r;  // destructor aborts
+  w.Commit();
+  return r;
 }
 
 Result<Table*> Database::CreateTable(RelationSchema schema) {
   auto r = AddTable(Table(std::move(schema)));
   if (!r.ok()) return r.status();
+  std::lock_guard lock(state_mu_);
   return tables_[*r].get();
 }
 
+Table* Database::mutable_table(int idx) {
+  {
+    // Opens-and-commits an empty writer: bumps the version (conservatively
+    // invalidating version-stamped caches, as the seed behavior did) and
+    // fires commit hooks. The returned pointer itself is the unsynchronized
+    // legacy escape hatch — see the header.
+    Writer w = BeginWrite();
+    w.Commit();
+  }
+  return tables_[idx].get();
+}
+
+void Database::ScaleProbabilities(double f) {
+  Writer w = BeginWrite();
+  w.ScaleProbabilities(f);
+  w.Commit();
+}
+
+// ---------------------------------------------------------------------------
+// Reads / misc
+// ---------------------------------------------------------------------------
+
 int Database::FindTable(const std::string& name) const {
-  auto it = by_name_.find(name);
-  return it == by_name_.end() ? -1 : it->second;
+  auto it = by_name_->find(name);
+  return it == by_name_->end() ? -1 : it->second;
 }
 
 Result<const Table*> Database::GetTable(const std::string& name) const {
@@ -45,18 +278,18 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
   return static_cast<const Table*>(tables_[idx].get());
 }
 
-void Database::ScaleProbabilities(double f) {
-  for (auto& t : tables_) t->ScaleProbabilities(f);
-  ++version_;
-}
-
 Database Database::Clone() const {
   Database out;
-  for (const auto& t : tables_) {
-    auto r = out.AddTable(*t);
-    (void)r;
+  Snapshot snap = snapshot();
+  {
+    Writer w = out.BeginWrite();
+    for (int i = 0; i < snap.NumTables(); ++i) {
+      auto r = w.AddTable(snap.table(i));  // shallow copy; COW isolates
+      (void)r;
+    }
+    w.Commit();
   }
-  out.strings_ = strings_;
+  *out.strings_ = *strings_;
   return out;
 }
 

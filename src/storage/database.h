@@ -1,74 +1,216 @@
-// Database catalog: named tables plus a shared string dictionary.
+// Database catalog: named tables plus a shared string dictionary, served
+// to readers through immutable snapshots and mutated through writer
+// transactions.
+//
+// Concurrency model (the supported readers-while-writing scenario):
+//
+//   - Readers call snapshot() and execute against the returned Snapshot —
+//     an immutable, copy-free view (shared table handles pinning sealed
+//     column chunks, the catalog index, the string-pool high-water mark
+//     and a version stamp). Acquisition is O(#tables) handle copies.
+//   - Writers call BeginWrite() and stage every mutation (row appends,
+//     probability scaling, new tables) into private copy-on-write table
+//     copies; sealed chunks stay shared with every live snapshot, only
+//     the tail chunk being written is detached. Commit() publishes all
+//     staged changes atomically and bumps the data version; Abort() (or
+//     destruction without commit) discards them. Writers serialize among
+//     themselves; they never block readers and readers never block them
+//     beyond the O(#tables) publish critical section.
+//
+//   Any number of reader threads may hold snapshots and execute while a
+//   writer stages and commits: a held snapshot returns bit-identical
+//   results across commits (the CI tsan job asserts this).
+//
+// Legacy surface: the const read accessors (table(), GetTable(), ...)
+// read the live head and remain valid for single-threaded use; each
+// structured mutation entry point (AddTable, CreateTable,
+// ScaleProbabilities) is a shim that opens a writer, applies the one
+// mutation, and commits. mutable_table() is deprecated: it hands out a
+// raw pointer into the live head, which cannot be reconciled with
+// concurrent readers — migrate to BeginWrite() (see README "Snapshots &
+// concurrent serving").
 #ifndef DISSODB_STORAGE_DATABASE_H_
 #define DISSODB_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/string_pool.h"
 #include "src/storage/table.h"
 
 namespace dissodb {
 
-/// Identifies one base tuple globally: (table index, row index). Used as the
-/// Boolean variable id in lineage formulas.
-struct TupleId {
-  uint32_t table;
-  uint32_t row;
-
-  uint64_t Key() const { return (static_cast<uint64_t>(table) << 32) | row; }
-  bool operator==(const TupleId& o) const {
-    return table == o.table && row == o.row;
-  }
-  bool operator<(const TupleId& o) const { return Key() < o.Key(); }
-};
-
-struct TupleIdHash {
-  size_t operator()(const TupleId& t) const { return Mix64(t.Key()); }
-};
-
-/// \brief Dictionary encoder for STRING values (one per database).
-class StringPool {
- public:
-  /// Returns the code for `s`, adding it if new.
-  int64_t Intern(const std::string& s);
-  /// Looks up an existing code; -1 if absent.
-  int64_t Find(const std::string& s) const;
-  const std::string& Get(int64_t code) const { return strings_[code]; }
-  size_t size() const { return strings_.size(); }
-
- private:
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, int64_t> index_;
-};
-
-/// \brief A tuple-independent probabilistic database: a catalog of tables.
+/// \brief A tuple-independent probabilistic database: a catalog of tables
+/// with snapshot-isolated reads and transactional writes.
 class Database {
  public:
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  /// Movable for value-returning builders. Moving is only legal while no
+  /// writer is open, no snapshot acquisition is in flight, and no engine
+  /// holds a reference — i.e. during single-threaded construction.
+  Database(Database&& o) noexcept;
+  Database& operator=(Database&& o) noexcept;
+
+  // -------------------------------------------------------------------------
+  // Snapshots (read surface)
+  // -------------------------------------------------------------------------
+
+  /// Acquires an immutable snapshot of the current state: O(#tables)
+  /// shared-handle copies, no payload copies (chunk lists are pinned by
+  /// reference). The snapshot is immune to every later mutation and may
+  /// outlive this Database. Thread-safe against concurrent Commit()s.
+  Snapshot snapshot() const;
+
+  /// The oldest version any still-held snapshot pins, or the current
+  /// version when none is held. The serving layer sweeps result-cache
+  /// entries below this on commit: no held snapshot can request them.
+  uint64_t OldestLiveSnapshotVersion() const;
+
+  /// True iff `s` was acquired from this database. Version stamps are only
+  /// comparable within one database, so the engine rejects foreign
+  /// snapshots (they would poison its version-keyed caches).
+  bool OwnsSnapshot(const Snapshot& s) const {
+    return s.valid() && s.owner_registry() == registry_.get();
+  }
+
+  // -------------------------------------------------------------------------
+  // Writer transactions (write surface)
+  // -------------------------------------------------------------------------
+
+  /// \brief A single-writer transaction: stages mutations against a pinned
+  /// base state and publishes them atomically on Commit().
+  ///
+  /// Construction (via Database::BeginWrite) blocks until any other writer
+  /// finishes; reads of the database remain available throughout. Staged
+  /// tables are copy-on-write shallow copies — sealed chunks stay shared
+  /// with concurrent snapshots, so staging an append copies at most the
+  /// tail chunk of each touched column. Move-only.
+  class Writer {
+   public:
+    Writer(Writer&& o) noexcept;
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+    Writer& operator=(Writer&&) = delete;
+    /// Destruction without Commit() aborts: staged changes are discarded.
+    ~Writer();
+
+    /// Stages a new table; fails if the name exists (in the base state or
+    /// staged). Returns its table index.
+    Result<int> AddTable(Table table);
+
+    /// Stages an empty table with `schema`; the returned pointer is the
+    /// staged copy — valid and writable until Commit()/Abort().
+    Result<Table*> CreateTable(RelationSchema schema);
+
+    /// The staged, writable copy of table `idx` (copy-on-write: created on
+    /// first access). Valid until Commit()/Abort().
+    Table* mutable_table(int idx);
+    Result<Table*> GetTableForWrite(const std::string& name);
+
+    /// Appends one row to table `idx` (convenience over mutable_table).
+    void AppendRow(int idx, std::span<const Value> row, double p = 1.0) {
+      mutable_table(idx)->AddRow(row, p);
+    }
+
+    /// Stages scaling every probabilistic table's probabilities by `f`.
+    void ScaleProbabilities(double f);
+
+    /// Interns `s` in the shared pool and wraps it as a Value. Interning
+    /// is append-only and thread-safe, so this is safe even before commit
+    /// (codes never dangle; uncommitted rows are the only users).
+    Value Str(const std::string& s);
+
+    int NumTables() const;
+    /// Reads table `idx` as staged (falling back to the base state).
+    const Table& table(int idx) const;
+    int FindTable(const std::string& name) const;
+
+    /// Publishes every staged change atomically: the live head and the
+    /// next snapshot see all of them, previously acquired snapshots none.
+    /// Bumps and returns the new data version, then runs commit hooks.
+    /// The writer is finished afterwards (only Abort()/destruction legal).
+    uint64_t Commit();
+
+    /// Discards staged changes; the writer is finished afterwards.
+    void Abort();
+
+   private:
+    friend class Database;
+    explicit Writer(Database* db);
+
+    Database* db_ = nullptr;  // null once finished
+    std::unique_lock<std::mutex> lock_;  // holds writer_mu_ while open
+    Snapshot base_;           // state pinned at BeginWrite
+    /// Staged table copies by index; indexes >= base table count are new.
+    std::unordered_map<int, std::shared_ptr<Table>> staged_;
+    std::vector<std::pair<std::string, std::shared_ptr<Table>>> added_;
+    std::unordered_map<std::string, int> added_by_name_;
+  };
+
+  /// Opens a writer transaction; blocks while another writer is open.
+  Writer BeginWrite();
+
+  /// Commit hooks run after every successful Commit() (and after each
+  /// legacy mutation shim), outside the publish lock, with the committed
+  /// version. The serving layer uses them to sweep version-stale cache
+  /// entries. Returns a token for UnregisterCommitHook, which is
+  /// synchronizing: once it returns, no invocation of the hook is in
+  /// flight (hooks run under the hook lock — they must not (un)register
+  /// hooks or open writers on this database). Const because observing
+  /// commits does not mutate data.
+  using CommitHook = std::function<void(uint64_t committed_version)>;
+  int RegisterCommitHook(CommitHook hook) const;
+  void UnregisterCommitHook(int token) const;
+
+  // -------------------------------------------------------------------------
+  // Legacy mutation shims (single-writer convenience; each opens and
+  // commits a Writer internally)
+  // -------------------------------------------------------------------------
+
   /// Adds a table; fails if the name already exists. Returns its index.
   Result<int> AddTable(Table table);
 
-  /// Creates an empty table with `schema` and returns a pointer to it.
+  /// Creates an empty table with `schema` and returns a pointer to the
+  /// live table. NOTE: rows added through the returned pointer do not bump
+  /// the version; take snapshots (or run queries) only after loading
+  /// finishes, exactly like the seed behavior.
   Result<Table*> CreateTable(RelationSchema schema);
+
+  /// DEPRECATED: raw mutable access to the live table. Opens-and-commits
+  /// an empty writer (bumping the version so caches invalidate
+  /// conservatively, and firing commit hooks) before handing out the
+  /// pointer. Mutations through the pointer race concurrent snapshot
+  /// acquisition — not safe for concurrent serving; use BeginWrite().
+  Table* mutable_table(int idx);
+
+  /// Scales all probabilistic tables by `f` (Figure 5n-5p experiments).
+  void ScaleProbabilities(double f);
+
+  // -------------------------------------------------------------------------
+  // Live-head read accessors (single-threaded / quiescent use; concurrent
+  // readers should hold a Snapshot instead)
+  // -------------------------------------------------------------------------
 
   int NumTables() const { return static_cast<int>(tables_.size()); }
   const Table& table(int idx) const { return *tables_[idx]; }
-  Table* mutable_table(int idx) {
-    // Handing out a mutable table conservatively invalidates cached results
-    // (the serving layer's ResultCache keys on `version()`).
-    ++version_;
-    return tables_[idx].get();
-  }
 
-  /// Monotonic data version: bumped by every mutation entry point (adding
-  /// tables, mutable table access, probability scaling). The serving
-  /// layer's ResultCache stamps cached relations with this counter, so a
-  /// mutation invalidates all previously cached results for this database.
-  uint64_t version() const { return version_; }
+  /// Monotonic data version: bumped by every commit (including the legacy
+  /// mutation shims). Snapshots carry the version they pinned; the serving
+  /// layer's ResultCache stamps cached relations with it.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Index of table `name`, or -1.
   int FindTable(const std::string& name) const;
@@ -81,14 +223,11 @@ class Database {
     return tables_[id.table]->schema().deterministic;
   }
 
-  StringPool* strings() { return &strings_; }
-  const StringPool& strings() const { return strings_; }
+  StringPool* strings() { return strings_.get(); }
+  const StringPool& strings() const { return *strings_; }
 
-  /// Interns `s` and wraps it as a Value.
-  Value Str(const std::string& s) { return Value::StringCode(strings_.Intern(s)); }
-
-  /// Scales all probabilistic tables by `f` (Figure 5n-5p experiments).
-  void ScaleProbabilities(double f);
+  /// Interns `s` and wraps it as a Value. Thread-safe (append-only pool).
+  Value Str(const std::string& s) { return Value::StringCode(strings_->Intern(s)); }
 
   /// Deep copy (tables are copied; the string pool is shared content-wise).
   Database Clone() const;
@@ -96,10 +235,31 @@ class Database {
   std::string ToString() const;
 
  private:
-  std::vector<std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, int> by_name_;
-  StringPool strings_;
-  uint64_t version_ = 0;
+  /// Publishes `staged`/`added` under state_mu_: applies them to the live
+  /// head and returns the new version. Called by Writer::Commit.
+  uint64_t Publish(
+      const std::unordered_map<int, std::shared_ptr<Table>>& staged,
+      const std::vector<std::pair<std::string, std::shared_ptr<Table>>>& added);
+
+  void RunCommitHooks(uint64_t version) const;
+
+  /// Guards the live head (tables_, by_name_) and snapshot construction:
+  /// every mutation of the live head happens under it, so snapshot() always
+  /// observes fully-published states.
+  mutable std::mutex state_mu_;
+  /// Serializes writers (held for a Writer's whole lifetime).
+  std::mutex writer_mu_;
+
+  std::vector<std::shared_ptr<Table>> tables_;
+  /// Shared into snapshots; replaced (copy-on-write) when tables are added.
+  std::shared_ptr<const std::unordered_map<std::string, int>> by_name_;
+  std::shared_ptr<StringPool> strings_;
+  std::atomic<uint64_t> version_{0};
+  std::shared_ptr<SnapshotRegistry> registry_;
+
+  mutable std::mutex hooks_mu_;
+  mutable std::vector<std::pair<int, CommitHook>> hooks_;
+  mutable int next_hook_token_ = 0;
 };
 
 }  // namespace dissodb

@@ -1,0 +1,61 @@
+#include "src/storage/string_pool.h"
+
+#include <mutex>
+
+namespace dissodb {
+
+StringPool::StringPool(const StringPool& o) {
+  std::shared_lock lock(o.mu_);
+  strings_ = o.strings_;
+  index_ = o.index_;
+}
+
+StringPool& StringPool::operator=(const StringPool& o) {
+  if (this == &o) return *this;
+  // Copy the source under its lock first so self-deadlock is impossible
+  // and lock ordering never matters.
+  std::deque<std::string> strings;
+  std::unordered_map<std::string, int64_t> index;
+  {
+    std::shared_lock lock(o.mu_);
+    strings = o.strings_;
+    index = o.index_;
+  }
+  std::unique_lock lock(mu_);
+  strings_ = std::move(strings);
+  index_ = std::move(index);
+  return *this;
+}
+
+int64_t StringPool::Intern(const std::string& s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = index_.find(s);  // re-check: lost an interning race?
+  if (it != index_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+int64_t StringPool::Find(const std::string& s) const {
+  std::shared_lock lock(mu_);
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& StringPool::Get(int64_t code) const {
+  std::shared_lock lock(mu_);
+  return strings_[code];  // deque elements are stable after unlock
+}
+
+size_t StringPool::size() const {
+  std::shared_lock lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace dissodb

@@ -1,0 +1,51 @@
+// Dictionary encoder for STRING values (one per database).
+//
+// The pool is append-only and internally synchronized: codes are dense
+// indices handed out in interning order and never reused or rewritten, so
+// any number of reader threads may Find/Get concurrently while one (or
+// more) writer threads Intern new strings. Storage is a deque, so Get()
+// can return stable references that outlive later growth.
+//
+// Snapshots (src/storage/snapshot.h) pin the pool's high-water mark at
+// publish time: every code appearing in a snapshot's tables is below that
+// mark, so snapshot reads never observe a code they cannot resolve.
+#ifndef DISSODB_STORAGE_STRING_POOL_H_
+#define DISSODB_STORAGE_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dissodb {
+
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool& o);
+  StringPool& operator=(const StringPool& o);
+
+  /// Returns the code for `s`, adding it if new. Thread-safe.
+  int64_t Intern(const std::string& s);
+
+  /// Looks up an existing code; -1 if absent. Thread-safe.
+  int64_t Find(const std::string& s) const;
+
+  /// The string for `code`. The returned reference is stable: elements are
+  /// deque-backed and never move, so it stays valid across later Intern
+  /// calls. Thread-safe.
+  const std::string& Get(int64_t code) const;
+
+  /// Number of interned strings (the snapshot high-water mark).
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+}  // namespace dissodb
+
+#endif  // DISSODB_STORAGE_STRING_POOL_H_

@@ -136,21 +136,25 @@ ConjunctiveQuery MakeStarQuery(int k) {
 
 void AssignUniformProbabilities(Database* db, double pi_max, uint64_t seed) {
   Rng rng(seed);
-  for (int i = 0; i < db->NumTables(); ++i) {
-    Table* t = db->mutable_table(i);
-    if (t->schema().deterministic) continue;
+  Database::Writer w = db->BeginWrite();
+  for (int i = 0; i < w.NumTables(); ++i) {
+    if (w.table(i).schema().deterministic) continue;
+    Table* t = w.mutable_table(i);
     for (size_t r = 0; r < t->NumRows(); ++r) {
       t->SetProb(r, rng.NextDouble() * pi_max);
     }
   }
+  w.Commit();
 }
 
 void AssignConstantProbabilities(Database* db, double pi) {
-  for (int i = 0; i < db->NumTables(); ++i) {
-    Table* t = db->mutable_table(i);
-    if (t->schema().deterministic) continue;
+  Database::Writer w = db->BeginWrite();
+  for (int i = 0; i < w.NumTables(); ++i) {
+    if (w.table(i).schema().deterministic) continue;
+    Table* t = w.mutable_table(i);
     for (size_t r = 0; r < t->NumRows(); ++r) t->SetProb(r, pi);
   }
+  w.Commit();
 }
 
 }  // namespace dissodb

@@ -189,6 +189,85 @@ TEST(PreparedQueryTest, IsomorphicQueriesHitOnePlanCacheEntry) {
   EXPECT_GE(engine.stats().canonical_remap_hits, 1u);
 }
 
+TEST(CanonicalizeTest, BodyPermutedSpellingsShareOneCanonicalForm) {
+  // Atom-order canonicalization: atoms sort by relation symbol before
+  // variable renaming, so body permutations of one query are isomorphic.
+  ConjunctiveQuery q1 = Q("q(x) :- R(x,y), S(y,z)");
+  ConjunctiveQuery q2 = Q("q(u) :- S(w,t), R(u,w)");
+  auto c1 = CanonicalizeQuery(q1);
+  auto c2 = CanonicalizeQuery(q2);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(c1->query.ToString(), c2->query.ToString());
+  EXPECT_FALSE(c1->atoms_reordered);
+  EXPECT_TRUE(c2->atoms_reordered);
+  // q2's original atom 0 (S) lands at canonical position 1 and vice versa.
+  EXPECT_EQ(c2->atom_orig_to_canon, (std::vector<int>{1, 0}));
+  EXPECT_EQ(c2->atom_canon_to_orig, (std::vector<int>{1, 0}));
+  // A three-atom permutation sorts fully by relation symbol.
+  ConjunctiveQuery q3 = Q("q(x) :- T(x,y), S(y,1), R(x,2)");
+  auto c3 = CanonicalizeQuery(q3);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ(c3->atom_canon_to_orig, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(c3->query.ToString(),
+            CanonicalizeQuery(Q("q(x) :- R(x,2), S(y,1), T(x,y)"))
+                ->query.ToString());
+}
+
+TEST(PreparedQueryTest, BodyPermutedSpellingsShareOnePlanCacheEntry) {
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 10}, 0.5}, {{2, 20}, 0.6}});
+  AddTable(&db, "S", 2, {{{10, 7}, 0.9}, {{20, 7}, 0.8}});
+  QueryEngine engine = QueryEngine::Borrow(db);
+
+  auto p1 = engine.Prepare("q(x) :- R(x,y), S(y,z)");
+  ASSERT_TRUE(p1.ok());
+  EXPECT_FALSE(p1->from_plan_cache());
+  auto p2 = engine.Prepare("q(a) :- S(b,c), R(a,b)");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(p2->from_plan_cache());
+  EXPECT_EQ(p1->cache_key(), p2->cache_key());
+  EXPECT_EQ(engine.stats().plan_cache_misses, 1u);
+
+  // Both spellings execute the one compiled artifact and agree bit-exactly.
+  auto r1 = engine.Execute(*p1);
+  auto r2 = engine.Execute(*p2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ExpectSameRankings(r1->answers, r2->answers, "body-permuted spellings");
+}
+
+TEST(PreparedQueryTest, AtomBindingsRemapThroughTheCanonicalBodyOrder) {
+  Database db;
+  AddTable(&db, "R", 1, {{{10}, 0.9}, {{20}, 0.8}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.5}, {{2, 20}, 0.6}, {{3, 10}, 0.7}});
+  QueryEngine engine = QueryEngine::Borrow(db);
+
+  // Only keep R(10): binding expressed against each spelling's own body
+  // order must reach the R atom in both.
+  Table r_small(RelationSchema::AllInt64("R", 1));
+  r_small.AddRow({Value::Int64(10)}, 0.9);
+
+  // Spelling A: R is original atom 1 (canonical atom 0 after sorting).
+  auto pa = engine.Prepare("q(x) :- S(x,y), R(y)");
+  ASSERT_TRUE(pa.ok());
+  auto ra = engine.Execute(*pa, Bindings().SetAtomTable(1, &r_small));
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  // Spelling B: R is original atom 0 (already canonical).
+  auto pb = engine.Prepare("q(x) :- R(y), S(x,y)");
+  ASSERT_TRUE(pb.ok());
+  auto rb = engine.Execute(*pb, Bindings().SetAtomTable(0, &r_small));
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+
+  ExpectSameRankings(ra->answers, rb->answers, "remapped atom bindings");
+  // Only x=1 and x=3 join R(10).
+  ASSERT_EQ(ra->answers.size(), 2u);
+
+  // A misdirected binding (arity mismatch with the canonical atom) would
+  // have failed the scan — guard that the remap really targeted R.
+  Table wrong(RelationSchema::AllInt64("X", 2));
+  wrong.AddRow({Value::Int64(1), Value::Int64(1)}, 0.5);
+  EXPECT_FALSE(engine.Execute(*pa, Bindings().SetAtomTable(1, &wrong)).ok());
+}
+
 TEST(PreparedQueryTest, ParametersPrepareOnceExecuteMany) {
   Database db;
   AddTable(&db, "R", 2,

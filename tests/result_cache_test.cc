@@ -29,17 +29,35 @@ TEST(ResultCacheTest, PutThenGetSameVersionHits) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
-TEST(ResultCacheTest, VersionMismatchIsAMissAndDiscardsStaleEntry) {
+TEST(ResultCacheTest, VersionMismatchIsAMissButOldVersionStaysServable) {
   ResultCache cache(8);
   cache.Put("k", 1, OneRowRel(0.5));
-  EXPECT_EQ(cache.Get("k", 2), nullptr);  // newer database: stale
+  EXPECT_EQ(cache.Get("k", 2), nullptr);  // newer snapshot: its own miss
   auto s = cache.stats();
   EXPECT_EQ(s.hits, 0u);
   EXPECT_EQ(s.misses, 1u);
-  EXPECT_EQ(s.evictions, 1u);
-  EXPECT_EQ(s.entries, 0u);
-  // The stale entry is gone even for the old version.
-  EXPECT_EQ(cache.Get("k", 1), nullptr);
+  EXPECT_EQ(s.entries, 1u);
+  // Entries are (key, version)-scoped: executions pinned to the older
+  // snapshot keep hitting their own entry.
+  EXPECT_NE(cache.Get("k", 1), nullptr);
+}
+
+TEST(ResultCacheTest, EvictOlderThanSweepsDeadVersionsOnly) {
+  ResultCache cache(8);
+  cache.Put("a", 1, OneRowRel(0.1));
+  cache.Put("b", 2, OneRowRel(0.2));
+  cache.Put("c", 3, OneRowRel(0.3));
+  // Oldest live snapshot pins version 3: versions 1 and 2 are dead.
+  EXPECT_EQ(cache.EvictOlderThan(3), 2u);
+  auto s = cache.stats();
+  EXPECT_EQ(s.stale_evictions, 2u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(cache.Get("a", 1), nullptr);
+  EXPECT_EQ(cache.Get("b", 2), nullptr);
+  EXPECT_NE(cache.Get("c", 3), nullptr);
+  // Idempotent once swept.
+  EXPECT_EQ(cache.EvictOlderThan(3), 0u);
 }
 
 TEST(ResultCacheTest, LruEvictionKeepsRecentlyUsedEntries) {
@@ -62,17 +80,20 @@ TEST(ResultCacheTest, CapacityZeroDisablesStorage) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
-TEST(ResultCacheTest, PutRefreshesExistingKey) {
+TEST(ResultCacheTest, PutRefreshesExistingKeyPerVersion) {
   ResultCache cache(4);
   cache.Put("k", 1, OneRowRel(0.5));
   cache.Put("k", 3, OneRowRel(0.7));
+  cache.Put("k", 3, OneRowRel(0.9));  // refresh of (k, 3)
   auto hit = cache.Get("k", 3);
   ASSERT_NE(hit, nullptr);
-  EXPECT_DOUBLE_EQ(hit->Score(0), 0.7);
+  EXPECT_DOUBLE_EQ(hit->Score(0), 0.9);
+  // Two versions coexist until swept.
+  EXPECT_EQ(cache.stats().entries, 2u);
+  ASSERT_NE(cache.Get("k", 1), nullptr);
+  EXPECT_DOUBLE_EQ(cache.Get("k", 1)->Score(0), 0.5);
+  cache.EvictOlderThan(3);
   EXPECT_EQ(cache.stats().entries, 1u);
-  // Asking for any other version is a mismatch and discards the entry.
-  EXPECT_EQ(cache.Get("k", 1), nullptr);
-  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,326 @@
+// Snapshot-isolated Database API: immutable snapshots, writer
+// transactions, copy-free chunk pinning, the live-version registry, the
+// legacy shims, and the engine's commit-time stale-result sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/storage/database.h"
+#include "src/storage/snapshot.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::ChunkCapOverride;
+using testing_util::Q;
+
+Value I(int64_t v) { return Value::Int64(v); }
+
+TEST(SnapshotTest, SnapshotPinsStateAcrossWriterCommit) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.6}});
+
+  Snapshot snap = db.snapshot();
+  EXPECT_TRUE(snap.valid());
+  EXPECT_EQ(snap.NumTables(), 1);
+  EXPECT_EQ(snap.table(0).NumRows(), 2u);
+  const uint64_t v_before = snap.version();
+
+  {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(3)}, 0.7);
+    const uint64_t v_after = w.Commit();
+    EXPECT_GT(v_after, v_before);
+  }
+
+  // The held snapshot is immune; the live head and new snapshots see it.
+  EXPECT_EQ(snap.table(0).NumRows(), 2u);
+  EXPECT_EQ(db.table(0).NumRows(), 3u);
+  Snapshot fresh = db.snapshot();
+  EXPECT_EQ(fresh.table(0).NumRows(), 3u);
+  EXPECT_GT(fresh.version(), snap.version());
+}
+
+TEST(SnapshotTest, SnapshotIsCopyFreeAndSealedChunksStayShared) {
+  ChunkCapOverride cap(4);
+  Database db;
+  Table t(RelationSchema::AllInt64("R", 1));
+  for (int i = 0; i < 10; ++i) t.AddRow({I(i)}, 0.5);  // chunks: 4+4+2
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+
+  Snapshot snap = db.snapshot();
+  const Column& live = *db.table(0).col(0);
+  const Column& pinned = *snap.table(0).col(0);
+  ASSERT_EQ(pinned.num_chunks(), 3u);
+  // Acquisition copied no payloads: every chunk handle is shared.
+  for (size_t ci = 0; ci < live.num_chunks(); ++ci) {
+    EXPECT_EQ(snap.table(0).col(0)->chunk(ci), db.table(0).col(0)->chunk(ci));
+  }
+
+  {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(99)}, 0.5);
+    w.Commit();
+  }
+
+  // Sealed chunks are still shared with the post-commit live column; only
+  // the tail the writer appended into was detached (seal-on-publish).
+  const Column& after = *db.table(0).col(0);
+  ASSERT_EQ(after.num_chunks(), 3u);
+  EXPECT_EQ(snap.table(0).col(0)->chunk(0), after.chunk(0));
+  EXPECT_EQ(snap.table(0).col(0)->chunk(1), after.chunk(1));
+  EXPECT_NE(snap.table(0).col(0)->chunk(2), after.chunk(2));
+  EXPECT_EQ(snap.table(0).NumRows(), 10u);
+  EXPECT_EQ(db.table(0).NumRows(), 11u);
+}
+
+TEST(SnapshotTest, WriterStagingIsInvisibleUntilCommit) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  const uint64_t v0 = db.version();
+
+  Database::Writer w = db.BeginWrite();
+  w.AppendRow(0, std::vector<Value>{I(2)}, 0.9);
+  ASSERT_TRUE(w.CreateTable(RelationSchema::AllInt64("S", 2)).ok());
+
+  // Staged state is visible through the writer...
+  EXPECT_EQ(w.table(0).NumRows(), 2u);
+  EXPECT_EQ(w.NumTables(), 2);
+  EXPECT_GE(w.FindTable("S"), 0);
+  // ...but not to the live head, new snapshots, or the version counter.
+  EXPECT_EQ(db.table(0).NumRows(), 1u);
+  EXPECT_EQ(db.FindTable("S"), -1);
+  EXPECT_EQ(db.snapshot().table(0).NumRows(), 1u);
+  EXPECT_EQ(db.version(), v0);
+
+  w.Commit();
+  EXPECT_EQ(db.table(0).NumRows(), 2u);
+  EXPECT_GE(db.FindTable("S"), 0);
+  EXPECT_GT(db.version(), v0);
+}
+
+TEST(SnapshotTest, WriterAbortDiscardsEverything) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  const uint64_t v0 = db.version();
+  {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(7)}, 0.1);
+    ASSERT_TRUE(w.CreateTable(RelationSchema::AllInt64("S", 1)).ok());
+    w.ScaleProbabilities(0.5);
+    // No commit: destructor aborts.
+  }
+  EXPECT_EQ(db.version(), v0);
+  EXPECT_EQ(db.table(0).NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(db.table(0).Prob(0), 0.5);
+  EXPECT_EQ(db.FindTable("S"), -1);
+}
+
+TEST(SnapshotTest, WriterScaleProbabilitiesLeavesSnapshotUntouched) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.8}});
+  AddTable(&db, "D", 1, {{{1}, 1.0}}, /*deterministic=*/true);
+  Snapshot snap = db.snapshot();
+
+  {
+    Database::Writer w = db.BeginWrite();
+    w.ScaleProbabilities(0.5);
+    w.Commit();
+  }
+  EXPECT_DOUBLE_EQ(snap.table(0).Prob(0), 0.8);
+  EXPECT_DOUBLE_EQ(db.table(0).Prob(0), 0.4);
+  EXPECT_DOUBLE_EQ(db.table(1).Prob(0), 1.0);  // deterministic pinned at 1
+}
+
+TEST(SnapshotTest, WriterAddTableRejectsDuplicates) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  Database::Writer w = db.BeginWrite();
+  EXPECT_FALSE(w.AddTable(Table(RelationSchema::AllInt64("R", 1))).ok());
+  ASSERT_TRUE(w.AddTable(Table(RelationSchema::AllInt64("S", 1))).ok());
+  EXPECT_FALSE(w.AddTable(Table(RelationSchema::AllInt64("S", 1))).ok());
+  w.Commit();
+  EXPECT_EQ(db.NumTables(), 2);
+}
+
+TEST(SnapshotTest, SnapshotOutlivesDatabase) {
+  Snapshot snap;
+  {
+    auto db = std::make_unique<Database>();
+    Value hello = db->Str("hello");
+    RelationSchema schema;
+    schema.name = "R";
+    schema.column_names = {"a"};
+    schema.column_types = {ValueType::kString};
+    Table t(std::move(schema));
+    t.AddRow({hello}, 0.5);
+    ASSERT_TRUE(db->AddTable(std::move(t)).ok());
+    snap = db->snapshot();
+  }
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.NumTables(), 1);
+  EXPECT_EQ(snap.table(0).NumRows(), 1u);
+  // The snapshot co-owns the string pool.
+  EXPECT_EQ(snap.strings().Get(snap.table(0).At(0, 0).AsStringCode()),
+            "hello");
+}
+
+TEST(SnapshotTest, StringPoolHighWaterMarkIsPinned) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  db.Str("early");
+  Snapshot snap = db.snapshot();
+  const size_t hwm = snap.string_pool_size();
+  db.Str("late");  // interned after the snapshot
+  EXPECT_EQ(snap.string_pool_size(), hwm);
+  EXPECT_GT(db.strings()->size(), hwm);
+}
+
+TEST(SnapshotTest, OldestLiveSnapshotVersionTracksHeldStates) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  // No snapshot held: falls back to the current version.
+  EXPECT_EQ(db.OldestLiveSnapshotVersion(), db.version());
+
+  Snapshot s1 = db.snapshot();
+  const uint64_t v1 = s1.version();
+  db.ScaleProbabilities(0.9);  // commit -> version moves
+  Snapshot s2 = db.snapshot();
+  EXPECT_EQ(db.OldestLiveSnapshotVersion(), v1);
+
+  s1 = Snapshot();  // drop the old state
+  EXPECT_EQ(db.OldestLiveSnapshotVersion(), s2.version());
+  s2 = Snapshot();
+  EXPECT_EQ(db.OldestLiveSnapshotVersion(), db.version());
+}
+
+TEST(SnapshotTest, CommitHooksFireOnEveryCommitIncludingLegacyShims) {
+  Database db;
+  int fired = 0;
+  uint64_t last_version = 0;
+  int token = db.RegisterCommitHook([&](uint64_t v) {
+    ++fired;
+    last_version = v;
+  });
+  AddTable(&db, "R", 1, {{{1}, 0.5}});  // legacy shim commits
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(last_version, db.version());
+  {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(2)}, 0.5);
+    w.Commit();
+  }
+  EXPECT_EQ(fired, 2);
+  (void)db.mutable_table(0);  // deprecated shim opens-commits a writer
+  EXPECT_EQ(fired, 3);
+  db.UnregisterCommitHook(token);
+  db.ScaleProbabilities(0.5);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SnapshotTest, PinnedSnapshotQueryResultsAreBitIdenticalAcrossCommits) {
+  Database db;
+  AddTable(&db, "R", 2, {{{1, 10}, 0.5}, {{2, 10}, 0.6}, {{2, 20}, 0.7}});
+  AddTable(&db, "S", 1, {{{10}, 0.9}, {{20}, 0.8}});
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto prepared = engine.Prepare("q(x) :- R(x,y), S(y)");
+  ASSERT_TRUE(prepared.ok());
+
+  Snapshot pinned = db.snapshot();
+  auto baseline = engine.Execute(*prepared, {}, pinned);
+  ASSERT_TRUE(baseline.ok());
+
+  for (int round = 0; round < 3; ++round) {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(5 + round), I(10)}, 0.3);
+    w.ScaleProbabilities(0.99);
+    w.Commit();
+
+    auto again = engine.Execute(*prepared, {}, pinned);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->answers.size(), baseline->answers.size());
+    for (size_t i = 0; i < baseline->answers.size(); ++i) {
+      EXPECT_EQ(again->answers[i].tuple, baseline->answers[i].tuple);
+      EXPECT_EQ(again->answers[i].score, baseline->answers[i].score);
+    }
+    // The live head meanwhile diverged (probabilities were rescaled).
+    auto live = engine.Execute(*prepared);
+    ASSERT_TRUE(live.ok());
+    ASSERT_FALSE(live->answers.empty());
+    EXPECT_NE(live->answers[0].score, baseline->answers[0].score);
+  }
+}
+
+TEST(SnapshotTest, StaleResultEntriesAreSweptOnCommitUnlessSnapshotHeld) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}});
+  AddTable(&db, "T", 1, {{{10}, 0.6}});
+  QueryEngine engine = QueryEngine::Borrow(db);
+  ConjunctiveQuery q = Q("q() :- R(x), S(x,y), T(y)");
+
+  auto r1 = engine.RunBatch(std::vector<ConjunctiveQuery>{q, q});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_GT(engine.stats().result_cache_entries, 0u);
+
+  // A held snapshot of the cached version keeps its entries alive through
+  // a commit (they are still servable for executions pinned to it).
+  Snapshot held = db.snapshot();
+  db.ScaleProbabilities(0.9);
+  EXPECT_EQ(engine.stats().result_cache_stale_evictions, 0u);
+  EXPECT_GT(engine.stats().result_cache_entries, 0u);
+
+  // Dropping the snapshot and committing again sweeps them.
+  held = Snapshot();
+  db.ScaleProbabilities(0.9);
+  EXPECT_GT(engine.stats().result_cache_stale_evictions, 0u);
+  EXPECT_EQ(engine.stats().result_cache_entries, 0u);
+}
+
+TEST(SnapshotTest, ForeignSnapshotsAreRejected) {
+  Database db_a;
+  AddTable(&db_a, "R", 1, {{{1}, 0.5}});
+  Database db_b;
+  AddTable(&db_b, "R", 1, {{{2}, 0.9}});
+  EXPECT_TRUE(db_a.OwnsSnapshot(db_a.snapshot()));
+  EXPECT_FALSE(db_a.OwnsSnapshot(db_b.snapshot()));
+  EXPECT_FALSE(db_a.OwnsSnapshot(Snapshot()));
+
+  // Version stamps are only comparable within one database: an engine
+  // must refuse a foreign snapshot rather than poison its caches.
+  QueryEngine engine = QueryEngine::Borrow(db_a);
+  auto prepared = engine.Prepare("q(x) :- R(x)");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(engine.Execute(*prepared, {}, db_b.snapshot()).ok());
+  EXPECT_FALSE(engine.Execute(*prepared, {}, Snapshot()).ok());
+  auto fut = engine.Submit(*prepared, {}, db_b.snapshot());
+  EXPECT_FALSE(fut.get().ok());
+  EXPECT_TRUE(engine.Execute(*prepared, {}, db_a.snapshot()).ok());
+}
+
+TEST(SnapshotTest, LegacyMutableTableStillWorksSingleThreaded) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  const uint64_t v0 = db.version();
+  Table* t = db.mutable_table(0);
+  EXPECT_GT(db.version(), v0);  // conservative invalidation bump
+  t->SetProb(0, 0.25);
+  EXPECT_DOUBLE_EQ(db.table(0).Prob(0), 0.25);
+}
+
+TEST(SnapshotTest, CloneIsIsolatedFromTheOriginal) {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}});
+  Database copy = db.Clone();
+  copy.mutable_table(0)->SetProb(0, 0.9);
+  EXPECT_DOUBLE_EQ(db.table(0).Prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(copy.table(0).Prob(0), 0.9);
+}
+
+}  // namespace
+}  // namespace dissodb
