@@ -14,7 +14,9 @@ double BenchScale() {
   return v > 0 ? v : 1.0;
 }
 
-double TimeMs(const std::function<void()>& fn, double min_ms, int max_reps) {
+double TimeMs(const std::function<void()>& fn, double min_ms, int max_reps,
+              int min_reps) {
+  fn();  // warm-up: untimed; pages faulted in, caches and scratch primed
   double best = 1e300;
   double total = 0;
   for (int rep = 0; rep < max_reps; ++rep) {
@@ -23,7 +25,7 @@ double TimeMs(const std::function<void()>& fn, double min_ms, int max_reps) {
     double ms = t.ElapsedMillis();
     best = std::min(best, ms);
     total += ms;
-    if (total >= min_ms && rep >= 1) break;
+    if (total >= min_ms && rep + 1 >= min_reps) break;
   }
   return best;
 }

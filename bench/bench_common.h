@@ -18,10 +18,14 @@ namespace bench {
 /// Multiplier from DISSODB_BENCH_SCALE (default 1.0).
 double BenchScale();
 
-/// Wall-clock milliseconds of `fn`, repeated until `min_ms` total or
-/// `max_reps`, reporting the minimum (stable) time.
+/// Wall-clock milliseconds of `fn`, reporting the minimum over repeated
+/// timed runs. One untimed warm-up run precedes measurement (first-touch
+/// page faults, cold caches, lazy thread-local scratch), then `fn` is
+/// repeated until `min_ms` of timed work has accumulated — but always at
+/// least `min_reps` and at most `max_reps` timed runs, so even slow cases
+/// report a min-of-K rather than a single sample.
 double TimeMs(const std::function<void()>& fn, double min_ms = 50.0,
-              int max_reps = 5);
+              int max_reps = 7, int min_reps = 3);
 
 /// Fixed-width table printing.
 void PrintHeader(const std::vector<std::string>& cols, int width = 12);

@@ -180,6 +180,29 @@ double MeasureProjectMs(size_t n) {
   });
 }
 
+double MeasureSemiJoinMs(size_t n) {
+  // A 3-chain reduces every table against its neighbors; at this size the
+  // build sides clear the Bloom threshold, so this times the filtered path.
+  Database* db = ChainDb(3, n);
+  ConjunctiveQuery q = MakeChainQuery(3);
+  return TimeMs([&] {
+    auto reduced = SemiJoinReduce(*db, q);
+    benchmark::DoNotOptimize(reduced->size());
+  });
+}
+
+double MeasureProjectBooleanMs(size_t n) {
+  // Empty keep-mask: every row folds into one group — the fused
+  // complement-product accumulator's fast path.
+  Database* db = ChainDb(2, n);
+  ConjunctiveQuery q = MakeChainQuery(2);
+  auto rel = ScanAtom(*db, q, 0);
+  return TimeMs([&] {
+    Rel out = ProjectIndependent(*rel, 0);
+    benchmark::DoNotOptimize(out.NumRows());
+  });
+}
+
 /// Machine-readable capture of the headline operators (BENCH_*.json): the
 /// numbers the perf trajectory is tracked by across PRs.
 void CaptureJson() {
@@ -192,7 +215,10 @@ void CaptureJson() {
                     OpCase{"hash_join", 1000000, MeasureJoinMs},
                     OpCase{"project_independent", 1000000, MeasureProjectMs},
                     OpCase{"hash_join", 100000, MeasureJoinMs},
-                    OpCase{"project_independent", 100000, MeasureProjectMs}}) {
+                    OpCase{"project_independent", 100000, MeasureProjectMs},
+                    OpCase{"semijoin_reduce", 100000, MeasureSemiJoinMs},
+                    OpCase{"project_boolean", 1000000,
+                           MeasureProjectBooleanMs}}) {
     double ms = oc.measure_ms(oc.rows);
     BenchJsonRecord(oc.op, oc.rows, ms * 1e6 / static_cast<double>(oc.rows));
   }

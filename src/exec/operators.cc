@@ -2,11 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
 #include <numeric>
 
 #include "src/common/hash.h"
+#include "src/common/simd.h"
+#include "src/exec/bloom.h"
 #include "src/exec/hash_table.h"
 #include "src/serve/scheduler.h"
+
+#if DISSODB_SIMD_COMPILED
+#include <immintrin.h>
+#endif
 
 namespace dissodb {
 
@@ -15,6 +24,16 @@ namespace {
 /// Rows per morsel for the parallel operator paths; inputs smaller than one
 /// morsel run sequentially (the fan-out overhead would dominate).
 constexpr size_t kMorselRows = 16384;
+
+/// Probe rows per prefetch block: pass one prefetches the home slots of a
+/// block of hashes, pass two walks them — by then the lines have arrived.
+/// 64 in-flight lines stay within what the load units track while keeping
+/// the block resident in L1.
+constexpr size_t kProbeBlock = 64;
+
+/// Build sides below this fit comfortably in L2; prefetching them only
+/// costs instruction bandwidth.
+constexpr size_t kPrefetchMinBuildRows = 4096;
 
 /// Hash-prefix partitions for parallel build/grouping (top bits of the key
 /// hash, independent of the low bits FlatHashIndex buckets on).
@@ -31,7 +50,7 @@ struct HashPartitions {
   std::vector<uint32_t> offsets;  // size kNumPartitions + 1
 };
 
-HashPartitions PartitionByHashPrefix(const std::vector<uint64_t>& h) {
+HashPartitions PartitionByHashPrefix(std::span<const uint64_t> h) {
   HashPartitions out;
   out.offsets.assign(kNumPartitions + 1, 0);
   for (uint64_t v : h) ++out.offsets[(v >> kPartitionShift) + 1];
@@ -202,20 +221,30 @@ Result<Rel> ScanAtomResolved(const Table* table, const ConjunctiveQuery& q,
     }
   }
 
+  // Fan out over the surviving chunks only: a fully (or mostly) pruned scan
+  // must not spawn tasks for — or even iterate — chunks the zone maps
+  // already ruled out.
+  std::vector<uint32_t> live;
+  live.reserve(num_chunks);
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
+    if (!prune[ci]) live.push_back(static_cast<uint32_t>(ci));
+  }
+
   // One selection vector per surviving chunk; concatenating them in chunk
   // order reproduces the ascending sequential selection exactly.
   std::vector<std::vector<uint32_t>> chunk_sel(num_chunks);
   const bool parallel =
-      scheduler != nullptr && num_chunks >= 2 && n >= 2 * kMorselRows;
+      scheduler != nullptr && live.size() >= 2 && n >= 2 * kMorselRows;
   auto scan_range = [&](size_t lo, size_t hi) {
-    for (size_t ci = lo; ci < hi; ++ci) {
-      if (!prune[ci]) FilterChunk(*table, checks, ci, &chunk_sel[ci]);
+    for (size_t i = lo; i < hi; ++i) {
+      const size_t ci = live[i];
+      FilterChunk(*table, checks, ci, &chunk_sel[ci]);
     }
   };
   if (parallel) {
-    scheduler->ParallelFor(0, num_chunks, 1, scan_range);
-  } else {
-    scan_range(0, num_chunks);
+    scheduler->ParallelFor(0, live.size(), 1, scan_range);
+  } else if (!live.empty()) {
+    scan_range(0, live.size());
   }
 
   size_t total = 0;
@@ -289,17 +318,50 @@ struct JoinBuildIndex {
   uint32_t Find(uint64_t h) const {
     return parts[partitioned ? (h >> kPartitionShift) : 0].Find(h);
   }
+
+  void Prefetch(uint64_t h) const {
+    parts[partitioned ? (h >> kPartitionShift) : 0].PrefetchSlot(h);
+  }
 };
 
-JoinBuildIndex BuildJoinIndex(const std::vector<uint64_t>& bh,
+/// Join probes consult a build-side Bloom filter before touching the slot
+/// table (same DISSODB_DISABLE_BLOOM escape hatch as the semi-join
+/// reduction). The filter is worth a probe-side pre-check only while it
+/// actually rejects: each probe_range call watches the reject rate over
+/// its first blocks and drops the filter for the rest of the range when
+/// most probes pass anyway (high-hit-rate joins), keeping the overhead a
+/// bounded prefix. Consulting or dropping the filter never changes which
+/// chains are walked, so output is unaffected.
+bool JoinBloomEnabled() {
+  static const bool enabled = std::getenv("DISSODB_DISABLE_BLOOM") == nullptr;
+  return enabled;
+}
+
+/// Probes checked before the reject-rate verdict, and the rate (in
+/// eighths) below which the filter is dropped: a rejected probe saves a
+/// slot-table miss (~3x the cost of the filter check), so the filter pays
+/// for itself down to roughly three rejects in eight.
+constexpr size_t kBloomAdaptProbes = 8192;
+constexpr size_t kBloomMinRejectEighths = 3;
+
+JoinBuildIndex BuildJoinIndex(std::span<const uint64_t> bh,
                               Scheduler* scheduler) {
   const size_t bn = bh.size();
   JoinBuildIndex index;
   index.next.resize(bn);
+  // Insert-side lookahead: each HeadFor lands on a random slot of a table
+  // that exceeds L2 for large builds, so fetch the slot line (exclusive) a
+  // fixed distance ahead. Purely overlaps misses; insertion order — and
+  // therefore every chain — is unchanged.
+  constexpr size_t kBuildLookahead = 16;
   if (scheduler == nullptr || bn < kMorselRows) {
     index.parts.emplace_back(bn);
     FlatHashIndex& part = index.parts[0];
+    const bool prefetch = bn >= kPrefetchMinBuildRows;
     for (size_t r = 0; r < bn; ++r) {
+      if (prefetch && r + kBuildLookahead < bn) {
+        part.PrefetchSlotWrite(bh[r + kBuildLookahead]);
+      }
       uint32_t& head = part.HeadFor(bh[r]);
       index.next[r] = head;
       head = static_cast<uint32_t>(r);
@@ -316,7 +378,13 @@ JoinBuildIndex BuildJoinIndex(const std::vector<uint64_t>& bh,
   scheduler->ParallelFor(0, kNumPartitions, 1, [&](size_t lo, size_t hi) {
     for (size_t p = lo; p < hi; ++p) {
       FlatHashIndex& part = index.parts[p];
-      for (uint32_t i = parts.offsets[p]; i < parts.offsets[p + 1]; ++i) {
+      const uint32_t begin = parts.offsets[p];
+      const uint32_t end = parts.offsets[p + 1];
+      const bool prefetch = end - begin >= kPrefetchMinBuildRows;
+      for (uint32_t i = begin; i < end; ++i) {
+        if (prefetch && i + kBuildLookahead < end) {
+          part.PrefetchSlotWrite(bh[parts.rows[i + kBuildLookahead]]);
+        }
         const uint32_t r = parts.rows[i];
         uint32_t& head = part.HeadFor(bh[r]);
         index.next[r] = head;
@@ -343,16 +411,82 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
   // Build: flat table(s) over the batch-hashed build keys (hashing fans
   // out in chunk-aligned morsels); duplicate keys chain through `next`.
   const size_t bn = build.NumRows();
-  std::vector<uint64_t> bh = HashKeyColumns(build, build_key, scheduler);
+  HashVector bh = HashKeyColumns(build, build_key, scheduler);
   JoinBuildIndex index = BuildJoinIndex(bh, scheduler);
 
   // Probe: batch-hash, then emit matching (build, probe) row pairs. Each
   // morsel fills its own pair buffers; concatenating them in morsel order
   // reproduces the sequential probe-row order exactly.
-  std::vector<uint64_t> ph = HashKeyColumns(probe, probe_key, scheduler);
+  HashVector ph = HashKeyColumns(probe, probe_key, scheduler);
   const size_t pn = probe.NumRows();
+  const Column* build_key0 =
+      build_key.empty() ? nullptr : &*build.col(build_key[0]);
+  const bool want_prefetch = bn >= kPrefetchMinBuildRows;
+  // Build-side Bloom filter for probe pre-checks: the filter array is ~10
+  // bits/key (cache-resident) while the slot table it short-circuits is a
+  // DRAM miss per probe. Built sequentially from the already-computed
+  // build hashes; gated like the prefetches (tiny builds fit in cache).
+  std::unique_ptr<BlockedBloomFilter> bloom;
+  if (want_prefetch && JoinBloomEnabled()) {
+    bloom = std::make_unique<BlockedBloomFilter>(bn);
+    for (size_t r = 0; r < bn; ++r) bloom->Add(bh[r]);
+  }
   auto probe_range = [&](size_t lo, size_t hi, std::vector<uint32_t>* bs,
                          std::vector<uint32_t>* ps) {
+    if (want_prefetch) {
+      // Per block: Bloom-filter the block's rows into a survivor list,
+      // prefetch the survivors' home slots, resolve chain heads
+      // (prefetching each head's link and first build key word), then
+      // walk. Each pass's misses overlap across the whole block instead
+      // of serializing one probe at a time. Survivors stay in probe-row
+      // order, so output is bit-identical to the plain loop.
+      const BlockedBloomFilter* filter = bloom.get();
+      size_t seen = 0, rejected = 0;
+      uint32_t sur[kProbeBlock];
+      uint32_t heads[kProbeBlock];
+      for (size_t blo = lo; blo < hi; blo += kProbeBlock) {
+        const size_t bhi = std::min(blo + kProbeBlock, hi);
+        size_t s = 0;
+        if (filter != nullptr) {
+          for (size_t pr = blo; pr < bhi; ++pr) {
+            if (filter->MayContain(ph[pr])) {
+              sur[s++] = static_cast<uint32_t>(pr);
+            }
+          }
+          seen += bhi - blo;
+          rejected += (bhi - blo) - s;
+          if (seen >= kBloomAdaptProbes &&
+              rejected * 8 < seen * kBloomMinRejectEighths) {
+            filter = nullptr;  // mostly hits: the pre-check is pure cost
+          }
+        } else {
+          for (size_t pr = blo; pr < bhi; ++pr) {
+            sur[s++] = static_cast<uint32_t>(pr);
+          }
+        }
+        for (size_t k = 0; k < s; ++k) index.Prefetch(ph[sur[k]]);
+        for (size_t k = 0; k < s; ++k) {
+          const uint32_t head = index.Find(ph[sur[k]]);
+          heads[k] = head;
+          if (head != FlatHashIndex::kNil) {
+            __builtin_prefetch(&index.next[head], 0, 1);
+            if (build_key0 != nullptr) build_key0->PrefetchRaw(head);
+          }
+        }
+        for (size_t k = 0; k < s; ++k) {
+          const size_t pr = sur[k];
+          for (uint32_t br = heads[k]; br != FlatHashIndex::kNil;
+               br = index.next[br]) {
+            if (!KeysEqual(build, br, build_key, probe, pr, probe_key)) {
+              continue;
+            }
+            bs->push_back(br);
+            ps->push_back(static_cast<uint32_t>(pr));
+          }
+        }
+      }
+      return;
+    }
     for (size_t pr = lo; pr < hi; ++pr) {
       for (uint32_t br = index.Find(ph[pr]); br != FlatHashIndex::kNil;
            br = index.next[br]) {
@@ -398,10 +532,16 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
   };
   auto scores = std::make_shared<std::vector<double>>();
   auto fill_scores = [&] {
-    scores->reserve(build_sel.size());
+    const size_t out_n = build_sel.size();
+    scores->reserve(out_n);
     const auto& bw = *build.weights();
     const auto& pw = *probe.weights();
-    for (size_t i = 0; i < build_sel.size(); ++i) {
+    constexpr size_t kScoreLookahead = 16;
+    for (size_t i = 0; i < out_n; ++i) {
+      if (i + kScoreLookahead < out_n) {
+        __builtin_prefetch(&bw[build_sel[i + kScoreLookahead]], 0, 1);
+        __builtin_prefetch(&pw[probe_sel[i + kScoreLookahead]], 0, 1);
+      }
       scores->push_back(bw[build_sel[i]] * pw[probe_sel[i]]);
     }
   };
@@ -429,15 +569,32 @@ namespace {
 /// group via a flat index (groups with equal hashes chain; real key
 /// comparison on the input columns) and fold scores per group. `rows` must
 /// be ascending so the per-group fold order matches a full sequential scan.
-template <typename Init, typename Update>
-void GroupRows(const Rel& in, std::span<const int> key_pos,
-               const std::vector<uint64_t>& h, std::span<const uint32_t> rows,
-               Init init, Update update, std::vector<uint32_t>* group_rep,
-               std::vector<double>* acc) {
-  FlatHashIndex index(rows.size());
+/// `row_at(t)` maps loop position to input row id; the two instantiations
+/// are the identity (sequential full-input path, no row-index vector to
+/// allocate or stream) and a subscript into a partition's row list.
+template <typename RowAt, typename Init, typename Update>
+void GroupRowsImpl(const Rel& in, std::span<const int> key_pos,
+                   std::span<const uint64_t> h, size_t nr, RowAt row_at,
+                   Init init, Update update, std::vector<uint32_t>* group_rep,
+                   std::vector<double>* acc) {
+  FlatHashIndex index(nr);
   std::vector<uint32_t> group_next;  // chain of groups sharing a hash
+  // Near-distinct keys create a group per row; reserving for the worst
+  // case avoids repeated reallocation-and-copy of three hot vectors.
+  group_rep->reserve(group_rep->size() + nr);
+  group_next.reserve(nr);
+  acc->reserve(acc->size() + nr);
   const auto& w = *in.weights();
-  for (uint32_t r : rows) {
+  // Fixed-distance lookahead: the index exceeds L2 for large groupings and
+  // every HeadFor lands on a random slot, so fetch the slot a few rows
+  // early. (Pure overlap; does not change which slot any row claims.)
+  constexpr size_t kGroupLookahead = 16;
+  const bool prefetch = nr >= kPrefetchMinBuildRows;
+  for (size_t t = 0; t < nr; ++t) {
+    if (prefetch && t + kGroupLookahead < nr) {
+      index.PrefetchSlotWrite(h[row_at(t + kGroupLookahead)]);
+    }
+    const uint32_t r = row_at(t);
     uint32_t& head = index.HeadFor(h[r]);
     uint32_t g = head;
     while (g != FlatHashIndex::kNil &&
@@ -456,6 +613,28 @@ void GroupRows(const Rel& in, std::span<const int> key_pos,
   }
 }
 
+template <typename Init, typename Update>
+void GroupRows(const Rel& in, std::span<const int> key_pos,
+               std::span<const uint64_t> h, std::span<const uint32_t> rows,
+               Init init, Update update, std::vector<uint32_t>* group_rep,
+               std::vector<double>* acc) {
+  GroupRowsImpl(
+      in, key_pos, h, rows.size(),
+      [rows](size_t t) { return rows[t]; }, init, update, group_rep, acc);
+}
+
+/// Identity variant (rows 0..n-1 in order): the full sequential grouping
+/// path, with no materialized row-index vector.
+template <typename Init, typename Update>
+void GroupAllRows(const Rel& in, std::span<const int> key_pos,
+                  std::span<const uint64_t> h, Init init, Update update,
+                  std::vector<uint32_t>* group_rep, std::vector<double>* acc) {
+  GroupRowsImpl(
+      in, key_pos, h, h.size(),
+      [](size_t t) { return static_cast<uint32_t>(t); }, init, update,
+      group_rep, acc);
+}
+
 /// Shared grouping loop for both projection flavors: batch-hash the key
 /// columns, group, and fold scores per group. With a scheduler and a large
 /// input, rows are partitioned by hash prefix and grouped per partition in
@@ -464,9 +643,9 @@ void GroupRows(const Rel& in, std::span<const int> key_pos,
 /// ascending, so re-sorting the merged groups by representative row
 /// reproduces the sequential first-occurrence group order and fold order
 /// exactly.
-template <typename Init, typename Update>
+template <typename Init, typename Update, typename Finalize>
 Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
-                Init init, Update update) {
+                Init init, Update update, Finalize finalize) {
   assert((keep_mask & ~in.var_mask()) == 0);
   std::vector<VarId> keep_vars = MaskToVars(keep_mask);
   std::vector<int> key_pos;
@@ -474,7 +653,7 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
   for (VarId v : keep_vars) key_pos.push_back(in.ColIndex(v));
 
   const size_t n = in.NumRows();
-  std::vector<uint64_t> h = HashKeyColumns(in, key_pos, scheduler);
+  HashVector h = HashKeyColumns(in, key_pos, scheduler);
 
   std::vector<uint32_t> group_rep;  // representative input row per group
   std::vector<double> acc;          // folded score per group
@@ -511,9 +690,7 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
       acc.push_back(a);
     }
   } else {
-    std::vector<uint32_t> all(n);
-    std::iota(all.begin(), all.end(), 0u);
-    GroupRows(in, key_pos, h, all, init, update, &group_rep, &acc);
+    GroupAllRows(in, key_pos, h, init, update, &group_rep, &acc);
   }
 
   std::vector<ColumnPtr> cols;
@@ -522,29 +699,106 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
     cols.push_back(std::make_shared<Column>(
         Column::Gathered(*in.col(c), group_rep, scheduler)));
   }
+  // Per-group score rewrite applied on the raw fold vector; doing it here
+  // (instead of per-row through the Rel accessors) avoids a copy-on-write
+  // check per call on outputs with millions of groups.
+  for (double& a : acc) a = finalize(a);
   auto scores = std::make_shared<std::vector<double>>(std::move(acc));
   return Rel::FromColumns(std::move(keep_vars), std::move(cols),
                           std::move(scores), group_rep.size());
 }
 
+#if DISSODB_SIMD_COMPILED
+
+/// Boolean projections with at least this many rows take the fused SIMD
+/// accumulator; below it the scalar fold is already a handful of cycles.
+constexpr size_t kFusedMinRows = 256;
+
+/// Fused Boolean-projection accumulator: returns 1 - prod_k (1 - p[k]).
+///
+/// Four complement-product lanes, checked every kFlushCheck elements and
+/// drained into log space before they can underflow to zero. Lane
+/// assignment (k mod 4), flush order (lane 0 through 3), and the final
+/// reduction ((l0*l1)*(l2*l3), then the scalar tail in index order) are
+/// all fixed and data-independent, so the score is bit-identical run to
+/// run; versus the scalar sequential fold it differs by reassociation
+/// only (ULP-bounded; the differential test pins the tolerance).
+__attribute__((target("avx2"))) double FusedComplementScoreAvx2(
+    const double* p, size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d prod = one;
+  double log_acc = 0.0;
+  bool flushed = false;
+  constexpr size_t kFlushCheck = 512;
+  constexpr double kTiny = 1e-128;
+  size_t next_check = kFlushCheck;
+  size_t k = 0;
+  alignas(32) double lanes[4];
+  for (; k + 4 <= n; k += 4) {
+    prod = _mm256_mul_pd(prod, _mm256_sub_pd(one, _mm256_loadu_pd(p + k)));
+    if (k + 4 >= next_check) {
+      next_check += kFlushCheck;
+      _mm256_store_pd(lanes, prod);
+      if (lanes[0] < kTiny || lanes[1] < kTiny || lanes[2] < kTiny ||
+          lanes[3] < kTiny) {
+        // Factors are complements of probabilities, so lanes are
+        // non-negative and log() is defined; log(0) folds through exp()
+        // below to the same certain-truth score the scalar path reaches.
+        for (double l : lanes) log_acc += std::log(l);
+        prod = one;
+        flushed = true;
+      }
+    }
+  }
+  _mm256_store_pd(lanes, prod);
+  double rest = (lanes[0] * lanes[1]) * (lanes[2] * lanes[3]);
+  for (; k < n; ++k) rest *= 1.0 - p[k];
+  if (!flushed) return 1.0 - rest;
+  return 1.0 - std::exp(log_acc + std::log(rest));
+}
+
+#endif  // DISSODB_SIMD_COMPILED
+
 }  // namespace
 
 Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
-  // Accumulate the complement product: acc = prod(1 - s_i); final score is
-  // 1 - acc, rewritten in one pass at the end.
-  Rel out = ProjectImpl(
-      in, keep_mask, scheduler, [](double s) { return 1.0 - s; },
-      [](double acc, double s) { return acc * (1.0 - s); });
-  for (size_t r = 0; r < out.NumRows(); ++r) {
-    out.SetScore(r, 1.0 - out.Score(r));
+  const size_t n = in.NumRows();
+  if (keep_mask == 0 && n > 0) {
+    // Boolean projection: every row folds into the single empty-tuple
+    // group, so skip hashing and grouping entirely and accumulate the
+    // complement product directly over the score vector.
+    const auto& w = *in.weights();
+    double score = 0.0;
+    bool fused = false;
+#if DISSODB_SIMD_COMPILED
+    if (n >= kFusedMinRows && simd::UseAvx2()) {
+      score = FusedComplementScoreAvx2(w.data(), n);
+      fused = true;
+    }
+#endif
+    if (!fused) {
+      // Same multiply sequence as the grouped fold below, so the scalar
+      // fast path is bit-identical to the pre-fast-path behavior.
+      double acc = 1.0 - w[0];
+      for (size_t r = 1; r < n; ++r) acc *= 1.0 - w[r];
+      score = 1.0 - acc;
+    }
+    auto scores = std::make_shared<std::vector<double>>(1, score);
+    return Rel::FromColumns({}, {}, std::move(scores), 1);
   }
-  return out;
+
+  // Accumulate the complement product: acc = prod(1 - s_i); final score is
+  // 1 - acc, rewritten over the fold vector before the output is built.
+  return ProjectImpl(
+      in, keep_mask, scheduler, [](double s) { return 1.0 - s; },
+      [](double acc, double s) { return acc * (1.0 - s); },
+      [](double acc) { return 1.0 - acc; });
 }
 
 Rel ProjectDistinct(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
   return ProjectImpl(
       in, keep_mask, scheduler, [](double) { return 1.0; },
-      [](double, double) { return 1.0; });
+      [](double, double) { return 1.0; }, [](double acc) { return acc; });
 }
 
 Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
@@ -570,7 +824,7 @@ Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
   std::vector<double> best;
   for (size_t k = 0; k < inputs.size(); ++k) {
     const Rel& in = inputs[k];
-    std::vector<uint64_t> h = HashKeyColumns(in, identity);
+    HashVector h = HashKeyColumns(in, identity);
     const auto& w = *in.weights();
     for (size_t r = 0; r < in.NumRows(); ++r) {
       uint32_t& head = index.HeadFor(h[r]);

@@ -1,8 +1,14 @@
 #include "src/exec/semijoin.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
 #include <numeric>
 
 #include "src/common/hash.h"
+#include "src/exec/bloom.h"
 #include "src/exec/hash_table.h"
 #include "src/exec/operators.h"
 #include "src/exec/rel.h"
@@ -10,6 +16,23 @@
 namespace dissodb {
 
 namespace {
+
+/// Build-side row count at which a reduction pair gets a blocked Bloom
+/// pre-filter in front of the hash-index probes. Below it the index is
+/// cache-resident and the filter is pure overhead.
+std::atomic<size_t>& BloomMinBuildRows() {
+  static std::atomic<size_t> threshold{[] {
+    if (std::getenv("DISSODB_DISABLE_BLOOM") != nullptr) {
+      return std::numeric_limits<size_t>::max();
+    }
+    if (const char* s = std::getenv("DISSODB_BLOOM_MIN_ROWS")) {
+      const long long v = std::atoll(s);
+      if (v >= 0) return static_cast<size_t>(v);
+    }
+    return size_t{4096};
+  }()};
+  return threshold;
+}
 
 /// Positions (column indices) of the variables `vars` in atom `atom_idx`,
 /// using the first occurrence of each variable.
@@ -109,7 +132,7 @@ Result<std::vector<Table>> ReduceResolved(std::vector<Table> tables,
       // Index b's key values (batch hash + chain; real key comparison on
       // probe avoids hash-collision survivors).
       const size_t bn = tb.NumRows();
-      std::vector<uint64_t> bh = HashKeyColumns(tb, pr.pos_b);
+      HashVector bh = HashKeyColumns(tb, pr.pos_b);
       FlatHashIndex index(bn);
       std::vector<uint32_t> next(bn);
       for (size_t r = 0; r < bn; ++r) {
@@ -117,18 +140,51 @@ Result<std::vector<Table>> ReduceResolved(std::vector<Table> tables,
         next[r] = head;
         head = static_cast<uint32_t>(r);
       }
-      std::vector<uint64_t> ah = HashKeyColumns(ta, pr.pos_a);
+      // Blocked Bloom pre-filter over the build-side hashes: a probe with
+      // no possible partner pays one filter cache line instead of an index
+      // walk. No false negatives, so the surviving selection is identical
+      // with or without it.
+      const size_t bloom_min = BloomMinBuildRows().load(std::memory_order_relaxed);
+      std::unique_ptr<BlockedBloomFilter> bloom;
+      if (bn >= bloom_min) {
+        bloom = std::make_unique<BlockedBloomFilter>(bn);
+        for (uint64_t h : bh) bloom->Add(h);
+        if (stats) ++stats->bloom_filters_built;
+      }
+      HashVector ah = HashKeyColumns(ta, pr.pos_a);
+      const size_t an = ta.NumRows();
       std::vector<uint32_t> sel;
-      sel.reserve(ta.NumRows());
-      for (size_t r = 0; r < ta.NumRows(); ++r) {
-        for (uint32_t br = index.Find(ah[r]); br != FlatHashIndex::kNil;
-             br = next[br]) {
-          if (KeysEqual(ta, r, pr.pos_a, tb, br, pr.pos_b)) {
-            sel.push_back(static_cast<uint32_t>(r));
-            break;
+      sel.reserve(an);
+      // Probe in blocks: Bloom-reject first, prefetch the survivors' index
+      // slots, then walk the chains — the slot misses overlap across the
+      // block. Survivors keep their ascending order, so `sel` is identical
+      // to the plain loop's.
+      constexpr size_t kProbeBlock = 64;
+      uint32_t survivors[kProbeBlock];
+      size_t bloom_skipped = 0;
+      for (size_t lo = 0; lo < an; lo += kProbeBlock) {
+        const size_t hi = std::min(lo + kProbeBlock, an);
+        size_t nsurv = 0;
+        for (size_t r = lo; r < hi; ++r) {
+          if (bloom != nullptr && !bloom->MayContain(ah[r])) {
+            ++bloom_skipped;
+            continue;
+          }
+          index.PrefetchSlot(ah[r]);
+          survivors[nsurv++] = static_cast<uint32_t>(r);
+        }
+        for (size_t s = 0; s < nsurv; ++s) {
+          const uint32_t r = survivors[s];
+          for (uint32_t br = index.Find(ah[r]); br != FlatHashIndex::kNil;
+               br = next[br]) {
+            if (KeysEqual(ta, r, pr.pos_a, tb, br, pr.pos_b)) {
+              sel.push_back(r);
+              break;
+            }
           }
         }
       }
+      if (stats) stats->bloom_probes_skipped += bloom_skipped;
       if (sel.size() != ta.NumRows()) {
         tables[pr.a] = ta.Select(sel);
         changed = true;
@@ -143,6 +199,10 @@ Result<std::vector<Table>> ReduceResolved(std::vector<Table> tables,
 }
 
 }  // namespace
+
+void SetSemiJoinBloomMinRowsForTesting(size_t rows) {
+  BloomMinBuildRows().store(rows, std::memory_order_relaxed);
+}
 
 Result<std::vector<Table>> SemiJoinReduce(
     const Snapshot& snap, const ConjunctiveQuery& q,

@@ -22,6 +22,11 @@ struct SemiJoinStats {
   std::vector<size_t> rows_before;
   std::vector<size_t> rows_after;
   int passes = 0;
+  /// Build sides large enough to get a blocked Bloom pre-filter, and probe
+  /// rows the filter rejected without touching the hash index. The filter
+  /// has no false negatives, so it never changes which rows survive.
+  size_t bloom_filters_built = 0;
+  size_t bloom_probes_skipped = 0;
 };
 
 /// Pairwise semi-join reduction to fixpoint (bounded by `max_passes`):
@@ -42,6 +47,12 @@ Result<std::vector<Table>> SemiJoinReduce(
     const Database& db, const ConjunctiveQuery& q,
     const std::unordered_map<int, const Table*>& overrides = {},
     SemiJoinStats* stats = nullptr, int max_passes = 4);
+
+/// Overrides the build-side row count at which reductions add a Bloom
+/// pre-filter (default 4096; env DISSODB_BLOOM_MIN_ROWS overrides the
+/// default, DISSODB_DISABLE_BLOOM disables the filter entirely). Tests use
+/// 1 to force filters onto tiny inputs and SIZE_MAX to force them off.
+void SetSemiJoinBloomMinRowsForTesting(size_t rows);
 
 }  // namespace dissodb
 

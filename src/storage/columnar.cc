@@ -8,7 +8,12 @@
 #include <malloc.h>
 #endif
 
+#include "src/common/simd.h"
 #include "src/serve/scheduler.h"
+
+#if DISSODB_SIMD_COMPILED
+#include <immintrin.h>
+#endif
 
 namespace dissodb {
 
@@ -53,6 +58,194 @@ std::vector<const uint64_t*> ChunkBases(const Column& c) {
     bases[ci] = c.ChunkBits(ci).data();
   }
   return bases;
+}
+
+#if DISSODB_SIMD_COMPILED
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (runtime-dispatched; see src/common/simd.h). Every kernel is
+// elementwise-exact against its scalar fallback: hashing and gathering are
+// pure integer lane arithmetic, and the zone-map min/max is order-free.
+// ---------------------------------------------------------------------------
+
+/// Low 64 bits of a 64x64 multiply by the constant `c`, per lane. AVX2 has
+/// no 64-bit multiply; compose it from 32x32 partial products (the
+/// standard lo*lo + ((lo*hi + hi*lo) << 32) decomposition, exact mod 2^64).
+__attribute__((target("avx2"))) inline __m256i Mul64Const(__m256i a,
+                                                          uint64_t c) {
+  const __m256i bl =
+      _mm256_set1_epi64x(static_cast<int64_t>(c & 0xffffffffULL));
+  const __m256i bh = _mm256_set1_epi64x(static_cast<int64_t>(c >> 32));
+  const __m256i ahi = _mm256_srli_epi64(a, 32);
+  const __m256i ll = _mm256_mul_epu32(a, bl);
+  const __m256i lh = _mm256_mul_epu32(a, bh);
+  const __m256i hl = _mm256_mul_epu32(ahi, bl);
+  return _mm256_add_epi64(ll,
+                          _mm256_slli_epi64(_mm256_add_epi64(lh, hl), 32));
+}
+
+/// Four Mix64 (splitmix64 finalizer) lanes; bit-identical to Mix64().
+__attribute__((target("avx2"))) inline __m256i Mix64x4(__m256i x) {
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL)));
+  x = Mul64Const(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+                 0xbf58476d1ce4e5b9ULL);
+  x = Mul64Const(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+                 0x94d049bb133111ebULL);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// out[k] = HashCombine(out[k], Mix64(tag_mix ^ bits[k])), 4 lanes at a
+/// time. With `init`, out[k]'s prior value is replaced by kHashSeed (the
+/// first key column's pass writes the vector instead of read-modify-
+/// writing it). Each output element depends only on its own input, so the
+/// fixed lane order is trivially deterministic and identical to scalar.
+__attribute__((target("avx2"))) void HashCombineAvx2(const uint64_t* bits,
+                                                     size_t n,
+                                                     uint64_t tag_mix,
+                                                     uint64_t* out,
+                                                     bool init) {
+  const __m256i tm = _mm256_set1_epi64x(static_cast<int64_t>(tag_mix));
+  const __m256i gold =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL));
+  const __m256i seed =
+      _mm256_set1_epi64x(static_cast<int64_t>(kHashSeed));
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + k));
+    const __m256i v = Mix64x4(_mm256_xor_si256(tm, b));
+    __m256i h =
+        init ? seed
+             : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + k));
+    // HashCombine: h ^= v + GOLD + (h << 6) + (h >> 2).
+    const __m256i t = _mm256_add_epi64(
+        _mm256_add_epi64(v, gold),
+        _mm256_add_epi64(_mm256_slli_epi64(h, 6), _mm256_srli_epi64(h, 2)));
+    h = _mm256_xor_si256(h, t);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), h);
+  }
+  for (; k < n; ++k) {
+    size_t h = init ? kHashSeed : out[k];
+    HashCombine(&h, Mix64(tag_mix ^ bits[k]));
+    out[k] = h;
+  }
+}
+
+/// out[k] = bases[sel[k] >> shift][sel[k] & mask], 4 lanes at a time. Two
+/// chained hardware gathers: first the per-chunk base pointers (a tiny,
+/// cache-resident table), then the payloads themselves via absolute
+/// addresses (null base, scale 1) — which makes the kernel indifferent to
+/// how the selection scatters across chunks.
+__attribute__((target("avx2"))) void GatherBitsAvx2(
+    const uint64_t* const* bases, uint32_t shift, uint64_t mask,
+    const uint32_t* sel, size_t n, uint64_t* out) {
+  const __m256i maskv = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+  const __m128i shiftv = _mm_cvtsi32_si128(static_cast<int>(shift));
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128i s32 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + k));
+    const __m256i s = _mm256_cvtepu32_epi64(s32);
+    const __m256i ci = _mm256_srl_epi64(s, shiftv);
+    const __m256i local = _mm256_and_si256(s, maskv);
+    const __m256i base = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(bases), ci, 8);
+    const __m256i addr =
+        _mm256_add_epi64(base, _mm256_slli_epi64(local, 3));
+    const __m256i v = _mm256_i64gather_epi64(
+        static_cast<const long long*>(nullptr), addr, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), v);
+  }
+  for (; k < n; ++k) {
+    const uint32_t r = sel[k];
+    out[k] = bases[r >> shift][r & mask];
+  }
+}
+
+/// Merges the unsigned min/max of data[0..n) into *mn_io / *mx_io. AVX2
+/// lacks unsigned 64-bit min/max; flip the sign bit and compare signed.
+/// Min/max are order-free, so lane accumulation is exact.
+__attribute__((target("avx2"))) void MinMaxU64Avx2(const uint64_t* data,
+                                                   size_t n, uint64_t* mn_io,
+                                                   uint64_t* mx_io) {
+  uint64_t mn = *mn_io;
+  uint64_t mx = *mx_io;
+  size_t k = 0;
+  if (n >= 4) {
+    const __m256i sign =
+        _mm256_set1_epi64x(static_cast<int64_t>(0x8000000000000000ULL));
+    __m256i mnv = _mm256_set1_epi64x(-1);
+    __m256i mxv = _mm256_setzero_si256();
+    for (; k + 4 <= n; k += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + k));
+      const __m256i vs = _mm256_xor_si256(v, sign);
+      mnv = _mm256_blendv_epi8(
+          mnv, v, _mm256_cmpgt_epi64(_mm256_xor_si256(mnv, sign), vs));
+      mxv = _mm256_blendv_epi8(
+          mxv, v, _mm256_cmpgt_epi64(vs, _mm256_xor_si256(mxv, sign)));
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), mnv);
+    for (uint64_t l : lanes) mn = std::min(mn, l);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), mxv);
+    for (uint64_t l : lanes) mx = std::max(mx, l);
+  }
+  for (; k < n; ++k) {
+    mn = std::min(mn, data[k]);
+    mx = std::max(mx, data[k]);
+  }
+  *mn_io = mn;
+  *mx_io = mx;
+}
+
+#endif  // DISSODB_SIMD_COMPILED
+
+/// Gathers `n` payloads selected by `sel` into `out` and merges their
+/// min/max into *mn_io / *mx_io (zone-map maintenance). All paths produce
+/// bit-identical payloads and zone maps.
+///
+/// The default path is a scalar loop with a fixed software-prefetch
+/// lookahead: the selection is random-access into a source that usually
+/// exceeds L2, and issuing the load address kGatherLookahead elements
+/// early overlaps the misses. The vpgatherqq kernel is dispatched only
+/// under simd::UseHardwareGather() — measured on GDS-mitigated Xeons the
+/// hardware gather is ~3x slower than this loop, so it is opt-in for
+/// unaffected CPUs rather than the AVX2 default.
+void GatherWithZoneMap(const uint64_t* const* bases, uint32_t shift,
+                       uint64_t mask, const uint32_t* sel, size_t n,
+                       uint64_t* out, uint64_t* mn_io, uint64_t* mx_io) {
+#if DISSODB_SIMD_COMPILED
+  if (n >= 8 && simd::UseHardwareGather()) {
+    GatherBitsAvx2(bases, shift, mask, sel, n, out);
+    MinMaxU64Avx2(out, n, mn_io, mx_io);
+    return;
+  }
+#endif
+  uint64_t mn = *mn_io;
+  uint64_t mx = *mx_io;
+  constexpr size_t kGatherLookahead = 16;
+  const size_t main = n > kGatherLookahead ? n - kGatherLookahead : 0;
+  size_t k = 0;
+  for (; k < main; ++k) {
+    const uint32_t rp = sel[k + kGatherLookahead];
+    __builtin_prefetch(&bases[rp >> shift][rp & mask], 0, 1);
+    const uint32_t r = sel[k];
+    const uint64_t b = bases[r >> shift][r & mask];
+    out[k] = b;
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  for (; k < n; ++k) {
+    const uint32_t r = sel[k];
+    const uint64_t b = bases[r >> shift][r & mask];
+    out[k] = b;
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  *mn_io = mn;
+  *mx_io = mx;
 }
 
 }  // namespace
@@ -114,6 +307,9 @@ void Column::Demote(ValueType incoming) {
 
 void Column::AppendGather(const Column& src, std::span<const uint32_t> idx) {
   if (size_ == 0 && !tagged_) type_ = src.type_;
+  // Early out after type adoption: a fully pruned selection must not touch
+  // src's base-pointer table or detach the tail chunk.
+  if (idx.empty()) return;
   if (src.uniform() && uniform() && src.type_ == type_) {
     // Flat fast path: fill the tail chunk in runs bounded by its remaining
     // room, reading src through per-chunk base pointers.
@@ -123,18 +319,11 @@ void Column::AppendGather(const Column& src, std::span<const uint32_t> idx) {
       Chunk* tail = MutableTail();
       const size_t take =
           std::min(chunk_capacity() - tail->bits.size(), idx.size() - done);
-      tail->bits.reserve(tail->bits.size() + take);
-      uint64_t mn = tail->min_bits;
-      uint64_t mx = tail->max_bits;
-      for (size_t k = done; k < done + take; ++k) {
-        const uint32_t r = idx[k];
-        const uint64_t b = bases[r >> src.chunk_shift_][r & src.chunk_mask_];
-        tail->bits.push_back(b);
-        mn = std::min(mn, b);
-        mx = std::max(mx, b);
-      }
-      tail->min_bits = mn;
-      tail->max_bits = mx;
+      const size_t old = tail->bits.size();
+      tail->bits.resize(old + take);
+      GatherWithZoneMap(bases.data(), src.chunk_shift_, src.chunk_mask_,
+                        idx.data() + done, take, tail->bits.data() + old,
+                        &tail->min_bits, &tail->max_bits);
       size_ += take;
       done += take;
       SyncTailBase();
@@ -164,18 +353,10 @@ Column Column::Gathered(const Column& src, std::span<const uint32_t> sel,
     // Each task owns the single output chunk its range covers (ranges are
     // chunk-aligned), so parallel tasks write disjoint chunks.
     auto chunk = std::make_shared<Chunk>();
-    chunk->bits.reserve(hi - lo);
-    uint64_t mn = ~uint64_t{0};
-    uint64_t mx = 0;
-    for (size_t k = lo; k < hi; ++k) {
-      const uint32_t r = sel[k];
-      const uint64_t b = bases[r >> src.chunk_shift_][r & src.chunk_mask_];
-      chunk->bits.push_back(b);
-      mn = std::min(mn, b);
-      mx = std::max(mx, b);
-    }
-    chunk->min_bits = mn;
-    chunk->max_bits = mx;
+    chunk->bits.resize(hi - lo);
+    GatherWithZoneMap(bases.data(), src.chunk_shift_, src.chunk_mask_,
+                      sel.data() + lo, hi - lo, chunk->bits.data(),
+                      &chunk->min_bits, &chunk->max_bits);
     out.chunks_[lo / cap] = std::move(chunk);
   };
   if (scheduler != nullptr && n >= 2 * cap) {
@@ -187,12 +368,13 @@ Column Column::Gathered(const Column& src, std::span<const uint32_t> sel,
   return out;
 }
 
-void Column::HashCombineInto(std::span<uint64_t> out) const {
+void Column::HashCombineInto(std::span<uint64_t> out, bool init) const {
   assert(out.size() == size_);
-  HashCombineRange(0, out);
+  HashCombineRange(0, out, init);
 }
 
-void Column::HashCombineRange(size_t begin, std::span<uint64_t> out) const {
+void Column::HashCombineRange(size_t begin, std::span<uint64_t> out,
+                              bool init) const {
   assert(begin + out.size() <= size_);
   const uint64_t tag_mix = static_cast<uint64_t>(type_) * 0x100000001b3ULL;
   size_t done = 0;
@@ -204,15 +386,22 @@ void Column::HashCombineRange(size_t begin, std::span<uint64_t> out) const {
     const size_t take = std::min(chunk.bits.size() - local, out.size() - done);
     const uint64_t* bits = chunk.bits.data() + local;
     if (!tagged_) {
+#if DISSODB_SIMD_COMPILED
+      if (take >= 8 && simd::UseAvx2()) {
+        HashCombineAvx2(bits, take, tag_mix, out.data() + done, init);
+        done += take;
+        continue;
+      }
+#endif
       for (size_t k = 0; k < take; ++k) {
-        size_t h = out[done + k];
+        size_t h = init ? kHashSeed : out[done + k];
         HashCombine(&h, Mix64(tag_mix ^ bits[k]));
         out[done + k] = h;
       }
     } else {
       const uint8_t* tags = chunk.tags.data() + local;
       for (size_t k = 0; k < take; ++k) {
-        size_t h = out[done + k];
+        size_t h = init ? kHashSeed : out[done + k];
         HashCombine(&h, Mix64(static_cast<uint64_t>(tags[k]) *
                                   0x100000001b3ULL ^
                               bits[k]));
@@ -233,6 +422,7 @@ void ColumnarRows::AppendRowImpl(std::span<const Value> row, double w) {
 void ColumnarRows::GatherImpl(const ColumnarRows& src,
                               std::span<const uint32_t> sel) {
   assert(src.NumCols() == NumCols());
+  if (sel.empty()) return;
   for (size_t c = 0; c < cols_.size(); ++c) {
     MutableCol(&cols_[c])->AppendGather(*src.cols_[c], sel);
   }
@@ -243,23 +433,40 @@ void ColumnarRows::GatherImpl(const ColumnarRows& src,
   num_rows_ += sel.size();
 }
 
-std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
-                                     std::span<const int> key_cols,
-                                     Scheduler* scheduler) {
+HashVector HashKeyColumns(const ColumnarRows& rows,
+                          std::span<const int> key_cols,
+                          Scheduler* scheduler) {
   const size_t n = rows.NumRows();
-  std::vector<uint64_t> out(n, 0x2545f491ULL);
-  if (key_cols.empty()) return out;
+  HashVector out;
+  // A fully pruned input (n == 0) must not consult chunk capacities or
+  // spawn any work.
+  if (n == 0) return out;
+  if (key_cols.empty()) {
+    out.assign(n, kHashSeed);
+    return out;
+  }
+  // Default-init resize: the first column's pass (init=true) writes every
+  // element from the seed, so a separate seed-fill sweep would be a wasted
+  // full pass over the vector.
+  out.resize(n);
   const size_t grain = rows.col(key_cols[0])->chunk_capacity();
   if (scheduler != nullptr && n >= 2 * grain) {
     // Chunk-aligned morsels: every task hashes chunk-local spans of each
     // key column into its disjoint slice of `out`.
     scheduler->ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+      bool first = true;
       for (int c : key_cols) {
-        rows.col(c)->HashCombineRange(lo, std::span(out.data() + lo, hi - lo));
+        rows.col(c)->HashCombineRange(lo, std::span(out.data() + lo, hi - lo),
+                                      first);
+        first = false;
       }
     });
   } else {
-    for (int c : key_cols) rows.col(c)->HashCombineInto(out);
+    bool first = true;
+    for (int c : key_cols) {
+      rows.col(c)->HashCombineInto(out, first);
+      first = false;
+    }
   }
   return out;
 }

@@ -49,6 +49,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/value.h"
@@ -56,6 +57,49 @@
 namespace dissodb {
 
 class Scheduler;  // src/serve/scheduler.h
+
+namespace internal {
+
+/// Allocator whose containers default-initialize (leave POD memory
+/// uninitialized) on resize instead of value-initializing. Gather targets
+/// are resized and then fully overwritten; with std::allocator the resize
+/// would first zero-sweep every output chunk — a full extra memory pass
+/// on the join/projection output path.
+template <class T, class A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+ public:
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<A>::template rebind_alloc<U>>;
+  };
+  using A::A;
+  template <class U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<A>::construct(static_cast<A&>(*this), ptr,
+                                        std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace internal
+
+/// Chunk payload storage; elements written by resize-then-fill producers
+/// are uninitialized until filled (see DefaultInitAllocator).
+using PayloadVector =
+    std::vector<uint64_t, internal::DefaultInitAllocator<uint64_t>>;
+
+/// Batch key-hash vector (HashKeyColumns output). Same default-init
+/// storage: the first hashing pass writes every element from the seed, so
+/// a value-initializing resize would be a wasted full-vector sweep.
+using HashVector = PayloadVector;
+
+/// Starting value of every row hash before the key columns are combined
+/// in. Rows hashed over zero key columns all carry this seed.
+inline constexpr uint64_t kHashSeed = 0x2545f491ULL;
 
 /// \brief One typed column: chunked arrays of 64-bit payloads.
 ///
@@ -80,7 +124,7 @@ class Column {
   /// immutable and shared freely; min/max form the zone map (raw-payload
   /// unsigned order — any total order is sound for equality pruning).
   struct Chunk {
-    std::vector<uint64_t> bits;
+    PayloadVector bits;
     std::vector<uint8_t> tags;  // empty while the column is type-uniform
     uint64_t min_bits = ~uint64_t{0};
     uint64_t max_bits = 0;
@@ -120,6 +164,12 @@ class Column {
   /// indexed load instead of a shared_ptr double-indirection.
   uint64_t RawBits(size_t i) const {
     return bases_[i >> chunk_shift_][i & chunk_mask_];
+  }
+  /// Prefetches the payload word of element `i`. Probe loops that learn a
+  /// chain head a block ahead of walking it use this to overlap the
+  /// build-side key-compare miss with the rest of the block.
+  void PrefetchRaw(size_t i) const {
+    __builtin_prefetch(&bases_[i >> chunk_shift_][i & chunk_mask_], 0, 1);
   }
   ValueType TypeAt(size_t i) const {
     return tagged_ ? static_cast<ValueType>(
@@ -171,13 +221,17 @@ class Column {
 
   /// Combines every element's hash into `out` (HashCombine semantics);
   /// `out.size()` must equal `size()`. Batch primitive for key hashing,
-  /// iterating chunk-local spans.
-  void HashCombineInto(std::span<uint64_t> out) const;
+  /// iterating chunk-local spans. With `init`, `out`'s prior contents are
+  /// ignored and every element starts from kHashSeed — the first key
+  /// column's pass writes the vector instead of read-modify-writing it,
+  /// which also lets callers hand in uninitialized storage.
+  void HashCombineInto(std::span<uint64_t> out, bool init = false) const;
 
   /// Same, restricted to global rows [begin, begin + out.size()); the range
   /// may span chunk seams. Parallel hashing hands each task a chunk-aligned
   /// range so every task reads chunk-local spans.
-  void HashCombineRange(size_t begin, std::span<uint64_t> out) const;
+  void HashCombineRange(size_t begin, std::span<uint64_t> out,
+                        bool init = false) const;
 
   bool ElemEquals(size_t i, const Column& o, size_t j) const {
     return RawBits(i) == o.RawBits(j) && TypeAt(i) == o.TypeAt(j);
@@ -297,9 +351,9 @@ class ColumnarRows {
 /// scheduler and a large enough input, hashing fans out in chunk-aligned
 /// morsels (each task reads chunk-local spans of every key column); the
 /// result is identical either way.
-std::vector<uint64_t> HashKeyColumns(const ColumnarRows& rows,
-                                     std::span<const int> key_cols,
-                                     Scheduler* scheduler = nullptr);
+HashVector HashKeyColumns(const ColumnarRows& rows,
+                          std::span<const int> key_cols,
+                          Scheduler* scheduler = nullptr);
 
 /// `out[k] = w[sel[k]]` into a fresh vector; positional parallel writes
 /// with a scheduler. Weight-column companion of Column::Gathered.

@@ -1,7 +1,11 @@
 // Unit tests for the execution operators: scan, hash join, projections, min.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <utility>
+
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/exec/operators.h"
 #include "src/serve/scheduler.h"
 #include "tests/test_util.h"
@@ -344,6 +348,192 @@ TEST(ChunkedScanTest, ZoneMapTypeMismatchPrunesEverything) {
   EXPECT_EQ(rel->NumRows(), 0u);
   EXPECT_EQ(stats.chunks_scanned, 0u);
   EXPECT_GT(stats.chunks_pruned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernels vs their scalar references. Hashing and gathers must be
+// bit-exact; the fused Boolean accumulator is reassociated and gets a
+// pinned ULP tolerance. Sizes straddle the 4-wide AVX2 lane boundary
+// (0, 1, W-1, W, W+1, 2W+1) and — with an 8-payload chunk cap — the
+// chunk seams the range kernels iterate over.
+// ---------------------------------------------------------------------------
+
+/// Pins the scalar reference path for its scope; the destructor restores
+/// the startup dispatch decision (which may still be scalar on non-AVX2
+/// hosts — the comparisons below are then trivially true but still valid).
+class ScopedScalarFallback {
+ public:
+  ScopedScalarFallback() { simd::SetSimdEnabledForTesting(false); }
+  ~ScopedScalarFallback() { simd::SetSimdEnabledForTesting(true); }
+};
+
+TEST(SimdDifferentialTest, HashKeyColumnsMatchesScalarAtLaneBoundaries) {
+  ChunkCapOverride cap(8);
+  const std::vector<int> keys = {0, 1};
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+    Rel in = RandomBinaryRel(0, 1, n, 1'000'000, 100 + n);
+    HashVector vec = HashKeyColumns(in, keys);
+    ScopedScalarFallback scalar;
+    HashVector ref = HashKeyColumns(in, keys);
+    ASSERT_EQ(vec.size(), n);
+    ASSERT_EQ(ref.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(vec[i], ref[i]) << "n=" << n << " row " << i;
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, HashCombineRangeMatchesScalarAcrossChunkSeams) {
+  ChunkCapOverride cap(8);
+  // 33 rows = 5 chunks; ranges chosen to start/end mid-chunk and mid-lane.
+  Rel in = RandomBinaryRel(0, 1, 33, 1'000'000, 7);
+  const Column& col = *in.col(0);
+  for (auto [begin, len] : std::initializer_list<std::pair<size_t, size_t>>{
+           {0, 33}, {1, 31}, {3, 9}, {7, 4}, {8, 8}, {15, 17}, {30, 3}}) {
+    HashVector vec(len, kHashSeed);
+    col.HashCombineRange(begin, vec);
+    ScopedScalarFallback scalar;
+    HashVector ref(len, kHashSeed);
+    col.HashCombineRange(begin, ref);
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(vec[i], ref[i]) << "begin=" << begin << " i=" << i;
+    }
+    // init=true must ignore prior contents and start from kHashSeed.
+    HashVector from_seed(len, 0xdeadbeefULL);
+    col.HashCombineRange(begin, from_seed, /*init=*/true);
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(from_seed[i], ref[i]) << "begin=" << begin << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, GatheredHardwareKernelMatchesScalar) {
+  ChunkCapOverride cap(8);
+  Rel in = RandomBinaryRel(0, 1, 43, 1'000'000, 9);  // 6 chunks
+  const Column& src = *in.col(1);
+  // Out-of-order, duplicated, seam-crossing selection at a lane-odd size.
+  std::vector<uint32_t> sel;
+  for (uint32_t k = 0; k < 37; ++k) sel.push_back((k * 19 + 5) % 43);
+  sel.push_back(7);
+  sel.push_back(7);
+
+  simd::SetHardwareGatherForTesting(false);
+  Column scalar = Column::Gathered(src, sel);
+  simd::SetHardwareGatherForTesting(true);
+  Column hw = Column::Gathered(src, sel);
+  simd::SetHardwareGatherForTesting(false);
+
+  ASSERT_EQ(scalar.size(), sel.size());
+  ASSERT_EQ(hw.size(), sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    ASSERT_EQ(hw.RawBits(i), scalar.RawBits(i)) << "i=" << i;
+    ASSERT_EQ(hw.RawBits(i), src.RawBits(sel[i])) << "i=" << i;
+  }
+  // Zone maps are rebuilt by the gather and must agree exactly too.
+  ASSERT_EQ(hw.num_chunks(), scalar.num_chunks());
+  for (size_t ci = 0; ci < hw.num_chunks(); ++ci) {
+    EXPECT_EQ(hw.ChunkMinBits(ci), scalar.ChunkMinBits(ci)) << "chunk " << ci;
+    EXPECT_EQ(hw.ChunkMaxBits(ci), scalar.ChunkMaxBits(ci)) << "chunk " << ci;
+  }
+}
+
+TEST(SimdDifferentialTest, HashJoinMatchesScalarBitForBit) {
+  // Big enough to engage the prefetched + Bloom-filtered probe path and
+  // the partitioned build; seeded so most probes miss (Bloom stays on).
+  Rel left = RandomBinaryRel(0, 1, 36'000, 200'000, 51);
+  Rel right = RandomBinaryRel(1, 2, 40'000, 200'000, 52);
+  Rel vec = HashJoin(left, right);
+  ScopedScalarFallback scalar;
+  Rel ref = HashJoin(left, right);
+  ExpectBitIdentical(ref, vec);
+}
+
+TEST(SimdDifferentialTest, KeyedProjectionMatchesScalarBitForBit) {
+  Rel in = RandomBinaryRel(0, 1, 50'000, 700, 53);
+  Rel vec = ProjectIndependent(in, MaskOf(0));
+  ScopedScalarFallback scalar;
+  Rel ref = ProjectIndependent(in, MaskOf(0));
+  EXPECT_GT(ref.NumRows(), 0u);
+  ExpectBitIdentical(ref, vec);
+}
+
+TEST(SimdDifferentialTest, FusedBooleanScoreWithinPinnedTolerance) {
+  // The fused accumulator reassociates the complement product across four
+  // lanes; this pins the documented tolerance vs the sequential scalar
+  // fold. Sizes straddle the kFusedMinRows=256 engagement threshold and
+  // the lane tail (n % 4 != 0).
+  for (size_t n : {255u, 256u, 257u, 511u, 513u, 1023u, 1024u, 1025u}) {
+    Rng rng(60 + n);
+    Rel in(std::vector<VarId>{0});
+    in.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Small probabilities keep the product well away from underflow so
+      // only lane reassociation separates the two paths.
+      in.AddRow(std::vector<Value>{Value::Int64(static_cast<int64_t>(i))},
+                0.00001 + 0.0001 * rng.NextDouble());
+    }
+    Rel vec = ProjectIndependent(in, 0);
+    ScopedScalarFallback scalar;
+    Rel ref = ProjectIndependent(in, 0);
+    ASSERT_EQ(vec.NumRows(), 1u);
+    ASSERT_EQ(ref.NumRows(), 1u);
+    EXPECT_NEAR(vec.Score(0), ref.Score(0), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(SimdDifferentialTest, FusedBooleanScoreSurvivesLogSpaceFlush) {
+  // High per-row probabilities drive every complement-product lane below
+  // the 1e-128 flush threshold (0.05^128 per lane at the first check):
+  // the fused path must drain into log space instead of underflowing,
+  // and both paths must agree the query is certainly true.
+  const size_t n = 2048;
+  Rng rng(61);
+  Rel in(std::vector<VarId>{0});
+  in.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.AddRow(std::vector<Value>{Value::Int64(static_cast<int64_t>(i))},
+              0.94 + 0.05 * rng.NextDouble());
+  }
+  Rel vec = ProjectIndependent(in, 0);
+  ScopedScalarFallback scalar;
+  Rel ref = ProjectIndependent(in, 0);
+  ASSERT_EQ(vec.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(ref.Score(0), 1.0);
+  EXPECT_DOUBLE_EQ(vec.Score(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fully pruned inputs must short-circuit before any parallel fan-out:
+// no per-chunk scan tasks, no hash tasks, no gather tasks.
+// ---------------------------------------------------------------------------
+
+TEST(PrunedInputTest, FullyPrunedScanSpawnsNoTasks) {
+  ChunkCapOverride cap(64);
+  Database db = ClusteredDatabase(4'000, 10, 50, 21);
+  StringPool sp;
+  auto q = Q("q(x) :- R('nope', x)", &sp);  // type mismatch prunes all chunks
+  Scheduler pool(4);
+  ChunkedScanStats stats;
+  auto rel = ScanAtom(db, q, 0, nullptr, &pool, &stats);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumRows(), 0u);
+  EXPECT_EQ(stats.chunks_scanned, 0u);
+  EXPECT_GT(stats.chunks_pruned, 0u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(PrunedInputTest, EmptyInputsSpawnNoHashOrGatherTasks) {
+  ChunkCapOverride cap(64);
+  Scheduler pool(4);
+  Rel empty(std::vector<VarId>{0, 1});
+  const std::vector<int> keys = {0, 1};
+  EXPECT_TRUE(HashKeyColumns(empty, keys, &pool).empty());
+
+  Rel in = RandomBinaryRel(0, 1, 1'000, 100, 22);
+  Column out = Column::Gathered(*in.col(0), std::span<const uint32_t>(),
+                                &pool);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
 }
 
 TEST(ChunkedScanTest, RepeatedVariableSelectionAcrossChunkSeams) {

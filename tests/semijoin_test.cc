@@ -1,7 +1,12 @@
 // Tests for the deterministic semi-join reduction (Opt. 3).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/common/hash.h"
 #include "src/dissociation/propagation.h"
+#include "src/exec/bloom.h"
 #include "src/exec/semijoin.h"
 #include "src/workload/random_instance.h"
 #include "tests/test_util.h"
@@ -100,6 +105,100 @@ TEST(SemiJoinTest, RespectsOverrides) {
   ASSERT_TRUE(reduced.ok());
   EXPECT_EQ((*reduced)[0].NumRows(), 1u);
   EXPECT_EQ((*reduced)[1].NumRows(), 1u);  // S reduced against override
+}
+
+// ---------------------------------------------------------------------------
+// Blocked Bloom pre-filter: no false negatives ever, useful rejection on
+// disjoint probes, and — consulted or not — identical reductions.
+// ---------------------------------------------------------------------------
+
+TEST(BlockedBloomFilterTest, NeverFalseNegative) {
+  Rng rng(77);
+  std::vector<uint64_t> keys;
+  BlockedBloomFilter filter(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    keys.push_back(Mix64(rng.Next()));
+    filter.Add(keys.back());
+  }
+  for (uint64_t h : keys) {
+    ASSERT_TRUE(filter.MayContain(h));
+  }
+}
+
+TEST(BlockedBloomFilterTest, RejectsMostDisjointProbes) {
+  Rng rng(78);
+  std::unordered_set<uint64_t> inserted;
+  BlockedBloomFilter filter(10'000);
+  while (inserted.size() < 10'000) {
+    uint64_t h = Mix64(rng.Next());
+    if (inserted.insert(h).second) filter.Add(h);
+  }
+  size_t passed = 0;
+  const size_t probes = 20'000;
+  for (size_t i = 0; i < probes;) {
+    uint64_t h = Mix64(rng.Next());
+    if (inserted.count(h)) continue;  // keep the probe set truly disjoint
+    if (filter.MayContain(h)) ++passed;
+    ++i;
+  }
+  // Sized at ~10 bits/key with k=2, the false-positive rate is a few
+  // percent; 15% gives wide seed headroom while still proving the filter
+  // short-circuits the overwhelming majority of dangling probes.
+  EXPECT_LT(passed, probes * 15 / 100);
+}
+
+TEST(SemiJoinTest, BloomFilterDoesNotChangeReduction) {
+  Rng rng(79);
+  RandomQuerySpec qspec;
+  qspec.max_atoms = 4;
+  qspec.max_vars = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    ConjunctiveQuery q = RandomQuery(&rng, qspec);
+    Database db = RandomDatabaseFor(q, &rng);
+
+    SetSemiJoinBloomMinRowsForTesting(SIZE_MAX);
+    SemiJoinStats off_stats;
+    auto off = SemiJoinReduce(db, q, {}, &off_stats);
+    SetSemiJoinBloomMinRowsForTesting(1);
+    SemiJoinStats on_stats;
+    auto on = SemiJoinReduce(db, q, {}, &on_stats);
+    SetSemiJoinBloomMinRowsForTesting(4096);  // restore the default
+
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(off_stats.bloom_filters_built, 0u);
+    EXPECT_EQ(off_stats.bloom_probes_skipped, 0u);
+    ASSERT_EQ(off->size(), on->size());
+    for (size_t t = 0; t < off->size(); ++t) {
+      const Table& a = (*off)[t];
+      const Table& b = (*on)[t];
+      ASSERT_EQ(a.NumRows(), b.NumRows()) << q.ToString() << " table " << t;
+      for (size_t r = 0; r < a.NumRows(); ++r) {
+        for (int c = 0; c < a.NumCols(); ++c) {
+          ASSERT_EQ(a.At(r, c), b.At(r, c)) << q.ToString();
+        }
+        ASSERT_EQ(a.Weight(r), b.Weight(r)) << q.ToString();
+      }
+    }
+  }
+}
+
+TEST(SemiJoinTest, ForcedBloomFiltersReportStats) {
+  auto q = Q("q() :- R(x), S(x,y), T(y)");
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.5}, {{9}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 4}, 0.5}, {{2, 5}, 0.5}, {{3, 6}, 0.5}});
+  AddTable(&db, "T", 1, {{{4}, 0.5}, {{7}, 0.5}});
+  SetSemiJoinBloomMinRowsForTesting(1);
+  SemiJoinStats stats;
+  auto reduced = SemiJoinReduce(db, q, {}, &stats);
+  SetSemiJoinBloomMinRowsForTesting(4096);
+  ASSERT_TRUE(reduced.ok());
+  // Same reduction as RemovesDanglingTuples, now through the filters.
+  EXPECT_EQ((*reduced)[0].NumRows(), 1u);
+  EXPECT_EQ((*reduced)[1].NumRows(), 1u);
+  EXPECT_EQ((*reduced)[2].NumRows(), 1u);
+  EXPECT_GT(stats.bloom_filters_built, 0u);
 }
 
 }  // namespace
