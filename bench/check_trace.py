@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Schema check for DissoDB Chrome trace-event JSON exports.
+
+Usage: check_trace.py TRACE.json
+
+Validates the file micro_batch writes under DISSODB_TRACE_EXPORT (and any
+QueryTrace::ToChromeJson() output): well-formed JSON in the Chrome
+trace-event format, complete ("X") events only, and a consistent span tree
+in the args (dense 1-based span ids, valid parent links, exactly one root,
+children nested inside their parents' time ranges).
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py TRACE.json")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    spans = {}
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in ev:
+                fail(f"{where}: missing {key}")
+        if ev["ph"] != "X":
+            fail(f"{where}: expected complete ('X') events, got {ev['ph']!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+                fail(f"{where}: {key} must be a non-negative number")
+        args = ev["args"]
+        if "span_id" not in args or "parent_id" not in args:
+            fail(f"{where}: args must carry span_id and parent_id")
+        sid, pid = args["span_id"], args["parent_id"]
+        if not isinstance(sid, int) or sid < 1:
+            fail(f"{where}: span_id must be a positive integer")
+        if not isinstance(pid, int) or pid < 0:
+            fail(f"{where}: parent_id must be a non-negative integer")
+        if sid in spans:
+            fail(f"{where}: duplicate span_id {sid}")
+        spans[sid] = (pid, ev["ts"], ev["ts"] + ev["dur"], ev["name"])
+
+    n = len(spans)
+    if sorted(spans) != list(range(1, n + 1)):
+        fail(f"span ids must be dense 1..{n}, got {sorted(spans)}")
+
+    roots = 0
+    for sid, (pid, start, end, name) in spans.items():
+        if pid == 0:
+            roots += 1
+            continue
+        if pid not in spans:
+            fail(f"span {sid} ({name}): unknown parent {pid}")
+        if pid >= sid:
+            fail(f"span {sid} ({name}): parent {pid} must open first")
+        p_start, p_end = spans[pid][1], spans[pid][2]
+        # 1us slack: timestamps are rounded to 1e-3 us independently.
+        if start < p_start - 1.0 or end > p_end + 1.0:
+            fail(f"span {sid} ({name}): [{start}, {end}] escapes parent "
+                 f"{pid} [{p_start}, {p_end}]")
+    if roots != 1:
+        fail(f"expected exactly one root span, found {roots}")
+
+    names = [s[3] for s in spans.values()]
+    if not any(name.startswith("execute") for name in names):
+        fail("missing the root 'execute ...' span")
+    if "evaluate" not in names:
+        fail("missing the 'evaluate' stage span")
+
+    print(f"OK: {n} spans, 1 root, tree consistent "
+          f"({sum(1 for s in spans.values() if s[3].startswith('scan'))} "
+          f"scan spans)")
+
+
+if __name__ == "__main__":
+    main()

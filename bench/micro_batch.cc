@@ -136,5 +136,39 @@ int main() {
       return 1;
     }
   }
+
+  // Trace export (CI smoke): DISSODB_TRACE_EXPORT=<path> re-runs the batch
+  // with every execution traced (trace_sample_every = 1) and writes one
+  // execution's Chrome trace-event JSON to <path> — Perfetto-loadable, and
+  // schema-checked by bench/check_trace.py.
+  if (const char* path = std::getenv("DISSODB_TRACE_EXPORT")) {
+    EngineOptions traced_opts = batch_opts;
+    traced_opts.trace_sample_every = 1;
+    QueryEngine engine = QueryEngine::Borrow(db, traced_opts);
+    auto results = engine.RunBatch(workload);
+    if (!results.ok() || results->empty() ||
+        (*results)[0].trace == nullptr) {
+      std::printf("FAIL: traced batch produced no trace\n");
+      return 1;
+    }
+    if (engine.stats().traces_recorded != workload.size()) {
+      std::printf("FAIL: sampling=1 must trace every execution (%zu/%zu)\n",
+                  engine.stats().traces_recorded, workload.size());
+      return 1;
+    }
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot open %s\n", path);
+      return 1;
+    }
+    const std::string json = (*results)[0].trace->ToChromeJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("trace export: %zu traced executions, wrote %zu bytes of "
+                "Chrome trace JSON to %s\n",
+                engine.stats().traces_recorded, json.size(), path);
+    std::printf("span tree of the exported execution:\n%s",
+                (*results)[0].trace->ToText().c_str());
+  }
   return 0;
 }

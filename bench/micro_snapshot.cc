@@ -200,5 +200,28 @@ int main() {
               "commits; serve slowdown under writer %.2fx\n",
               static_cast<unsigned long long>(commits.load()),
               busy_ns_q / solo_ns_q);
+
+  // Scheduler telemetry across the serving phases: where do the tail
+  // latencies of serve_with_writer come from — queue wait (pool saturated)
+  // or run time (evaluation slowed by the writer)?
+  {
+    auto wait = engine.metrics()
+                    .histogram("scheduler.queue_wait_ns.query")
+                    ->Snapshot();
+    auto run =
+        engine.metrics().histogram("scheduler.run_ns.query")->Snapshot();
+    const uint64_t morsels =
+        engine.metrics().counter("scheduler.morsels")->Value();
+    std::printf("scheduler telemetry (task class 'query', %llu tasks):\n",
+                static_cast<unsigned long long>(wait.count));
+    std::printf("  queue wait: p50=%.0fns p95=%.0fns p99=%.0fns max=%lluns\n",
+                wait.p50(), wait.p95(), wait.p99(),
+                static_cast<unsigned long long>(wait.max));
+    std::printf("  run time:   p50=%.0fns p95=%.0fns p99=%.0fns max=%lluns\n",
+                run.p50(), run.p95(), run.p99(),
+                static_cast<unsigned long long>(run.max));
+    std::printf("  parallel-for morsels: %llu\n",
+                static_cast<unsigned long long>(morsels));
+  }
   return 0;
 }

@@ -60,6 +60,15 @@ int main() {
   });
 
   for (int round = 0; round < 5; ++round) {
+    // Round 0 runs traced: the span tree shows where a serving request
+    // spends its time while the writer churns underneath.
+    if (round == 0) {
+      auto traced = engine.Execute(*prepared, Bindings().EnableTrace());
+      if (traced.ok() && traced->trace != nullptr) {
+        std::printf("traced serving request:\n%s",
+                    traced->trace->ToText().c_str());
+      }
+    }
     auto pin = engine.Execute(*prepared, {}, pinned);
     auto live = engine.Execute(*prepared);
     auto fut = engine.Submit(*prepared, {}, pinned);
@@ -89,6 +98,18 @@ int main() {
       static_cast<unsigned long long>(db.version()),
       s.result_cache_entries, s.result_cache_stale_evictions,
       static_cast<unsigned long long>(db.OldestLiveSnapshotVersion()));
+  // Scheduler telemetry: queue-wait and run-time histograms per task class
+  // ("query" = pooled executions), the raw data for tail-latency work.
+  auto wait =
+      engine.metrics().histogram("scheduler.queue_wait_ns.query")->Snapshot();
+  auto run = engine.metrics().histogram("scheduler.run_ns.query")->Snapshot();
+  std::printf("scheduler query tasks: %llu | queue wait p50=%.0fns "
+              "p95=%.0fns p99=%.0fns | run p50=%.0fns p95=%.0fns\n",
+              static_cast<unsigned long long>(wait.count), wait.p50(),
+              wait.p95(), wait.p99(), run.p50(), run.p95());
+  std::printf("Prometheus exposition: engine.metrics().PrometheusText() "
+              "(%zu bytes) — scrape-ready counters + le-bucket histograms\n",
+              engine.metrics().PrometheusText().size());
   std::printf("migration note: Database::mutable_table() is deprecated — "
               "stage mutations in a Database::Writer and Commit() instead "
               "(see README \"Snapshots & concurrent serving\").\n");

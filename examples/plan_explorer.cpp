@@ -101,6 +101,24 @@ int main(int argc, char** argv) {
                 RankingToString(res->answers, db, 5).c_str());
   }
 
+  // Observability: the same execution traced. The span tree is an
+  // EXPLAIN-ANALYZE view of the evaluation — one span per plan node with
+  // wall time, row counts, zone-map pruning, cache interactions, and the
+  // SIMD path taken; ToChromeJson() of the same trace loads in Perfetto.
+  {
+    auto p = engine.Prepare(*q);
+    auto traced =
+        p.ok() ? engine.Execute(*p, Bindings().EnableTrace())
+               : Result<QueryResult>(p.status());
+    if (traced.ok() && traced->trace != nullptr) {
+      std::printf("\ntraced execution (span tree):\n%s",
+                  traced->trace->ToText().c_str());
+      std::printf("Perfetto: QueryResult::trace->ToChromeJson() (%zu bytes "
+                  "here) loads in ui.perfetto.dev / chrome://tracing\n",
+                  traced->trace->ToChromeJson().size());
+    }
+  }
+
   // Serving path: the same query three times as one batch — the compiled
   // plan comes from the plan cache and the duplicate evaluations are
   // served from the shared subplan result cache. A fourth prepared handle
@@ -155,6 +173,30 @@ int main(int argc, char** argv) {
                 s.scans.filtered_scans, s.scans.parallel_scans,
                 s.scans.chunks_scanned, s.scans.chunks_pruned,
                 s.scans.rows_selected, s.scans.rows_scanned);
+    std::printf("  semi-joins:         %zu reductions, %zu bloom filters "
+                "built, %zu probes skipped\n",
+                s.semijoin_reductions, s.bloom_filters_built,
+                s.bloom_probes_skipped);
+    std::printf("  traces recorded:    %zu\n", s.traces_recorded);
+    auto lat = engine.metrics().histogram("engine.execute_ns")->Snapshot();
+    std::printf("  execute latency:    p50=%.0fns p95=%.0fns p99=%.0fns "
+                "max=%lluns over %llu executions\n",
+                lat.p50(), lat.p95(), lat.p99(),
+                static_cast<unsigned long long>(lat.max),
+                static_cast<unsigned long long>(lat.count));
+  }
+
+  // Prometheus text exposition of the whole registry — counters, gauges,
+  // and cumulative-le histogram series, ready for a /metrics endpoint.
+  {
+    std::string prom = engine.metrics().PrometheusText();
+    size_t lines = 0, pos = 0;
+    while (lines < 8 && (pos = prom.find('\n', pos)) != std::string::npos) {
+      ++pos;
+      ++lines;
+    }
+    std::printf("\nPrometheus exposition (first %zu of %zu bytes):\n%.*s...\n",
+                pos, prom.size(), static_cast<int>(pos), prom.c_str());
   }
   return 0;
 }

@@ -51,6 +51,16 @@ class Bindings {
     return *this;
   }
 
+  /// Requests a span tree for executions running under these bindings,
+  /// regardless of the engine's sampling rate (EngineOptions.
+  /// trace_sample_every). The trace lands on QueryResult::trace. Chainable.
+  Bindings& EnableTrace(bool on = true) {
+    trace_ = on;
+    return *this;
+  }
+
+  bool trace_requested() const { return trace_; }
+
   bool empty() const { return params_.empty() && atoms_.empty(); }
   size_t num_params_bound() const { return params_.size(); }
   const AtomOverrides& atom_overrides() const { return atoms_; }
@@ -73,6 +83,7 @@ class Bindings {
  private:
   std::map<int, Value> params_;  // ordered: deterministic fingerprints
   AtomOverrides atoms_;
+  bool trace_ = false;  // per-execution tracing opt-in
 };
 
 }  // namespace dissodb

@@ -49,7 +49,28 @@ bool HasUnknownStringConstants(const ConjunctiveQuery& q) {
 
 QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
                          EngineOptions opts)
-    : db_(std::move(db)), opts_(opts) {
+    : db_(std::move(db)),
+      opts_(opts),
+      m_queries_(metrics_.counter("engine.queries")),
+      m_batch_queries_(metrics_.counter("engine.batch_queries")),
+      m_prepared_(metrics_.counter("engine.prepared")),
+      m_plan_hits_(metrics_.counter("engine.plan_cache.hits")),
+      m_plan_misses_(metrics_.counter("engine.plan_cache.misses")),
+      m_remaps_(metrics_.counter("engine.canonical_remaps")),
+      m_remap_hits_(metrics_.counter("engine.canonical_remap_hits")),
+      m_reduction_hits_(metrics_.counter("engine.reduction_cache.hits")),
+      m_reduction_misses_(metrics_.counter("engine.reduction_cache.misses")),
+      m_traces_(metrics_.counter("engine.traces")),
+      m_scan_filtered_(metrics_.counter("scan.filtered")),
+      m_scan_parallel_(metrics_.counter("scan.parallel")),
+      m_scan_chunks_scanned_(metrics_.counter("scan.chunks_scanned")),
+      m_scan_chunks_pruned_(metrics_.counter("scan.chunks_pruned")),
+      m_scan_rows_scanned_(metrics_.counter("scan.rows_scanned")),
+      m_scan_rows_selected_(metrics_.counter("scan.rows_selected")),
+      m_bloom_built_(metrics_.counter("semijoin.bloom_filters_built")),
+      m_bloom_skipped_(metrics_.counter("semijoin.bloom_probes_skipped")),
+      m_semijoin_reductions_(metrics_.counter("semijoin.reductions")),
+      m_execute_ns_(metrics_.histogram("engine.execute_ns")) {
   if (opts_.result_cache_capacity > 0) {
     result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
   }
@@ -142,10 +163,8 @@ Result<PreparedQuery> QueryEngine::Prepare(const ConjunctiveQuery& q) {
   impl->compiled = std::move(*compiled);
   impl->from_plan_cache = cache_hit;
 
-  prepared_.fetch_add(1, std::memory_order_relaxed);
-  if (renamed_hit) {
-    canonical_remap_hits_.fetch_add(1, std::memory_order_relaxed);
-  }
+  m_prepared_->Add(1);
+  if (renamed_hit) m_remap_hits_->Add(1);
   return PreparedQuery(std::move(impl));
 }
 
@@ -162,7 +181,7 @@ Result<std::shared_ptr<const CompiledPlans>> QueryEngine::GetOrCompile(
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
       *cache_hit = true;
       *renamed_hit = it->second.original_text != original_text;
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      m_plan_hits_->Add(1);
       return it->second.compiled;
     }
   }
@@ -191,7 +210,7 @@ Result<std::shared_ptr<const CompiledPlans>> QueryEngine::GetOrCompile(
     compiled->single_plan = std::move(*plan);
   }
 
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  m_plan_misses_->Add(1);
   if (opts_.plan_cache_capacity > 0) {
     std::lock_guard lock(plan_mu_);
     auto it = plan_cache_.find(key);
@@ -242,6 +261,23 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
   }
   const PreparedQuery::Impl& impl = *prepared.impl_;
   use_result_cache = use_result_cache && impl.share_results;
+
+  // Tracing: per-query opt-in (Bindings::EnableTrace) or engine-wide 1-in-N
+  // sampling. Untraced executions carry a null context, so every
+  // instrumentation site below costs one branch.
+  const uint64_t t_start = obs::NowNanos();
+  const bool traced =
+      bindings.trace_requested() ||
+      (opts_.trace_sample_every > 0 &&
+       trace_tick_.fetch_add(1, std::memory_order_relaxed) %
+               opts_.trace_sample_every ==
+           0);
+  obs::TraceContext trace_ctx;
+  obs::TraceContext* trace = traced ? &trace_ctx : nullptr;
+  uint32_t root = 0;
+  if (traced) {
+    root = trace_ctx.BeginSpan("execute " + impl.canon.query.ToString(), 0);
+  }
 
   // Parameter substitution: the compiled plans only depend on the query's
   // structure, so one prepared artifact serves every binding; the executed
@@ -298,6 +334,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
   std::shared_ptr<const std::vector<Table>> reduced_shared;
   std::vector<Table> reduced_local;
   if (opts_.propagation.opt3_semijoin_reduction) {
+    obs::ScopedSpan sj_span(trace, "semijoin-reduce", root);
     std::unordered_map<int, const Table*> raw;
     bool all_tagged = true;
     std::string bfp;
@@ -312,16 +349,43 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
     const bool taggable =
         impl.share_results && params_shareable && all_tagged;
     std::string rtag;
+    SemiJoinStats sj_stats;
+    bool sj_computed = false;
     if (taggable) {
       rtag = "opt3:" + exec_q->ToString() + "@" + std::to_string(version) +
              "|" + bfp;
-      auto red = GetOrReduce(rtag, snap, *exec_q, raw);
+      auto red = GetOrReduce(rtag, snap, *exec_q, raw, &sj_stats);
       if (!red.ok()) return red.status();
       reduced_shared = std::move(*red);
+      sj_computed = sj_stats.passes > 0;  // zero on a reduction-cache hit
     } else {
-      auto red = SemiJoinReduce(snap, *exec_q, raw);
+      auto red = SemiJoinReduce(snap, *exec_q, raw, &sj_stats);
       if (!red.ok()) return red.status();
       reduced_local = std::move(*red);
+      sj_computed = true;
+    }
+    if (sj_computed) {
+      // Previously dropped on the floor: the reduction's Bloom pre-filter
+      // counters now land in the engine registry.
+      m_semijoin_reductions_->Add(1);
+      if (sj_stats.bloom_filters_built > 0) {
+        m_bloom_built_->Add(sj_stats.bloom_filters_built);
+      }
+      if (sj_stats.bloom_probes_skipped > 0) {
+        m_bloom_skipped_->Add(sj_stats.bloom_probes_skipped);
+      }
+    }
+    if (trace != nullptr) {
+      trace->Annotate(sj_span.id(), "cached",
+                      std::string(sj_computed ? "no" : "yes"));
+      if (sj_computed) {
+        trace->Annotate(sj_span.id(), "passes",
+                        static_cast<uint64_t>(sj_stats.passes));
+        trace->Annotate(sj_span.id(), "bloom_filters_built",
+                        static_cast<uint64_t>(sj_stats.bloom_filters_built));
+        trace->Annotate(sj_span.id(), "bloom_probes_skipped",
+                        static_cast<uint64_t>(sj_stats.bloom_probes_skipped));
+      }
     }
     const std::vector<Table>& reduced =
         reduced_shared ? *reduced_shared : reduced_local;
@@ -338,50 +402,91 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
 
   Rel scores(std::vector<VarId>{});
   ChunkedScanStats scan_stats;
-  if (impl.compiled->single_plan) {
-    PlanEvaluator ev(snap, *exec_q);
-    for (const auto& [idx, ov] : effective) {
-      ev.SetAtomTable(idx, ov.table, ov.tag);
+  {
+    obs::ScopedSpan eval_span(trace, "evaluate", root);
+    if (impl.compiled->single_plan) {
+      PlanEvaluator ev(snap, *exec_q);
+      for (const auto& [idx, ov] : effective) {
+        ev.SetAtomTable(idx, ov.table, ov.tag);
+      }
+      if (use_result_cache && result_cache_) {
+        ev.SetResultCache(result_cache_.get(), version);
+      }
+      ev.SetScheduler(scheduler);
+      if (trace != nullptr) ev.SetTrace(trace, eval_span.id());
+      auto rel = ev.Evaluate(impl.compiled->single_plan);
+      if (!rel.ok()) return rel.status();
+      result.nodes_evaluated = ev.nodes_evaluated();
+      result.result_cache_hits = ev.result_cache_hits();
+      scan_stats = ev.scan_stats();
+      scores = **rel;
+    } else {
+      auto rel = EvaluatePlansSeparately(snap, *exec_q, impl.compiled->plans,
+                                         effective, &scan_stats, trace,
+                                         eval_span.id());
+      if (!rel.ok()) return rel.status();
+      for (const auto& p : impl.compiled->plans) {
+        result.nodes_evaluated += MeasurePlan(p).tree_nodes;
+      }
+      scores = std::move(*rel);
     }
-    if (use_result_cache && result_cache_) {
-      ev.SetResultCache(result_cache_.get(), version);
-    }
-    ev.SetScheduler(scheduler);
-    auto rel = ev.Evaluate(impl.compiled->single_plan);
-    if (!rel.ok()) return rel.status();
-    result.nodes_evaluated = ev.nodes_evaluated();
-    result.result_cache_hits = ev.result_cache_hits();
-    scan_stats = ev.scan_stats();
-    scores = **rel;
-  } else {
-    auto rel = EvaluatePlansSeparately(snap, *exec_q, impl.compiled->plans,
-                                       effective, &scan_stats);
-    if (!rel.ok()) return rel.status();
-    for (const auto& p : impl.compiled->plans) {
-      result.nodes_evaluated += MeasurePlan(p).tree_nodes;
-    }
-    scores = std::move(*rel);
   }
 
   // Map the answer relation from canonical variable space back to the
   // caller's variable ids (zero-copy column permutation).
-  if (!impl.canon.identity && scores.arity() > 0) {
-    scores = RemapRelVars(scores, impl.canon.canon_to_orig);
-    canonical_remaps_.fetch_add(1, std::memory_order_relaxed);
-  }
-  result.answers = RankAnswers(scores);
   {
-    std::lock_guard lock(scan_mu_);
-    scan_stats_.MergeFrom(scan_stats);
+    obs::ScopedSpan rank_span(trace, "rank", root);
+    if (!impl.canon.identity && scores.arity() > 0) {
+      scores = RemapRelVars(scores, impl.canon.canon_to_orig);
+      m_remaps_->Add(1);
+    }
+    result.answers = RankAnswers(scores);
   }
 
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  // Scan counters flow straight into the registry (sharded atomics) — no
+  // engine-wide mutex on the execution path anymore.
+  if (scan_stats.filtered_scans > 0) {
+    m_scan_filtered_->Add(scan_stats.filtered_scans);
+  }
+  if (scan_stats.parallel_scans > 0) {
+    m_scan_parallel_->Add(scan_stats.parallel_scans);
+  }
+  if (scan_stats.chunks_scanned > 0) {
+    m_scan_chunks_scanned_->Add(scan_stats.chunks_scanned);
+  }
+  if (scan_stats.chunks_pruned > 0) {
+    m_scan_chunks_pruned_->Add(scan_stats.chunks_pruned);
+  }
+  if (scan_stats.rows_scanned > 0) {
+    m_scan_rows_scanned_->Add(scan_stats.rows_scanned);
+  }
+  if (scan_stats.rows_selected > 0) {
+    m_scan_rows_selected_->Add(scan_stats.rows_selected);
+  }
+
+  m_queries_->Add(1);
+  m_execute_ns_->Record(obs::NowNanos() - t_start);
+  if (traced) {
+    trace_ctx.Annotate(root, "answers",
+                       static_cast<uint64_t>(result.answers.size()));
+    trace_ctx.Annotate(root, "nodes_evaluated",
+                       static_cast<uint64_t>(result.nodes_evaluated));
+    trace_ctx.Annotate(root, "result_cache_hits",
+                       static_cast<uint64_t>(result.result_cache_hits));
+    trace_ctx.Annotate(root, "from_plan_cache",
+                       std::string(result.from_plan_cache ? "yes" : "no"));
+    trace_ctx.EndSpan(root);
+    result.trace =
+        std::make_shared<const obs::QueryTrace>(trace_ctx.Finish());
+    m_traces_->Add(1);
+  }
   return result;
 }
 
 Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
     const std::string& key, const Snapshot& snap, const ConjunctiveQuery& q,
-    const std::unordered_map<int, const Table*>& overrides) {
+    const std::unordered_map<int, const Table*>& overrides,
+    SemiJoinStats* stats) {
   const bool cacheable =
       !key.empty() && opts_.reduction_cache_capacity > 0;
   if (cacheable) {
@@ -390,14 +495,14 @@ Result<std::shared_ptr<const std::vector<Table>>> QueryEngine::GetOrReduce(
     if (it != reduction_cache_.end()) {
       reduction_lru_.splice(reduction_lru_.begin(), reduction_lru_,
                             it->second.lru_pos);
-      reduction_hits_.fetch_add(1, std::memory_order_relaxed);
+      m_reduction_hits_->Add(1);
       return it->second.tables;
     }
   }
-  auto r = SemiJoinReduce(snap, q, overrides);
+  auto r = SemiJoinReduce(snap, q, overrides, stats);
   if (!r.ok()) return r.status();
   auto tables = std::make_shared<const std::vector<Table>>(std::move(*r));
-  reduction_misses_.fetch_add(1, std::memory_order_relaxed);
+  m_reduction_misses_->Add(1);
   if (cacheable) {
     std::lock_guard lock(reduction_mu_);
     auto it = reduction_cache_.find(key);
@@ -420,7 +525,7 @@ Scheduler* QueryEngine::EnsureScheduler() {
   }
   std::unique_lock lock(mu_);
   if (!scheduler_) {
-    scheduler_ = std::make_unique<Scheduler>(opts_.num_threads);
+    scheduler_ = std::make_unique<Scheduler>(opts_.num_threads, &metrics_);
   }
   return scheduler_.get();
 }
@@ -431,12 +536,12 @@ std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
   auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
       [this, scheduler, prepared = std::move(prepared),
        bindings = std::move(bindings)]() {
-        batch_queries_.fetch_add(1, std::memory_order_relaxed);
+        m_batch_queries_->Add(1);
         return ExecuteInternal(prepared, bindings, scheduler,
                                /*use_result_cache=*/true);
       });
   auto future = task->get_future();
-  scheduler->Submit([task] { (*task)(); });
+  scheduler->Submit([task] { (*task)(); }, "query");
   return future;
 }
 
@@ -447,7 +552,7 @@ std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
   auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
       [this, scheduler, prepared = std::move(prepared),
        bindings = std::move(bindings), snap = std::move(snap)]() {
-        batch_queries_.fetch_add(1, std::memory_order_relaxed);
+        m_batch_queries_->Add(1);
         if (!db_->OwnsSnapshot(snap)) {
           return Result<QueryResult>(Status::InvalidArgument(
               "snapshot is empty or belongs to a different database"));
@@ -456,7 +561,7 @@ std::future<Result<QueryResult>> QueryEngine::Submit(PreparedQuery prepared,
                                /*use_result_cache=*/true, &snap);
       });
   auto future = task->get_future();
-  scheduler->Submit([task] { (*task)(); });
+  scheduler->Submit([task] { (*task)(); }, "query");
   return future;
 }
 
@@ -566,17 +671,18 @@ Result<std::vector<QueryResult>> QueryEngine::RunBatch(
 }
 
 EngineStats QueryEngine::stats() const {
+  // A snapshot view over the metrics registry (the source of truth), plus
+  // the result cache's and scheduler's own counters.
   EngineStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
-  s.prepared_queries = prepared_.load(std::memory_order_relaxed);
-  s.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.canonical_remaps = canonical_remaps_.load(std::memory_order_relaxed);
-  s.canonical_remap_hits =
-      canonical_remap_hits_.load(std::memory_order_relaxed);
-  s.reduction_cache_hits = reduction_hits_.load(std::memory_order_relaxed);
-  s.reduction_cache_misses = reduction_misses_.load(std::memory_order_relaxed);
+  s.queries = m_queries_->Value();
+  s.batch_queries = m_batch_queries_->Value();
+  s.prepared_queries = m_prepared_->Value();
+  s.plan_cache_hits = m_plan_hits_->Value();
+  s.plan_cache_misses = m_plan_misses_->Value();
+  s.canonical_remaps = m_remaps_->Value();
+  s.canonical_remap_hits = m_remap_hits_->Value();
+  s.reduction_cache_hits = m_reduction_hits_->Value();
+  s.reduction_cache_misses = m_reduction_misses_->Value();
   if (result_cache_) {
     ResultCacheStats rc = result_cache_->stats();
     s.result_cache_hits = rc.hits;
@@ -590,10 +696,16 @@ EngineStats QueryEngine::stats() const {
     std::shared_lock lock(mu_);
     if (scheduler_) s.tasks_executed = scheduler_->tasks_executed();
   }
-  {
-    std::lock_guard lock(scan_mu_);
-    s.scans = scan_stats_;
-  }
+  s.scans.filtered_scans = m_scan_filtered_->Value();
+  s.scans.parallel_scans = m_scan_parallel_->Value();
+  s.scans.chunks_scanned = m_scan_chunks_scanned_->Value();
+  s.scans.chunks_pruned = m_scan_chunks_pruned_->Value();
+  s.scans.rows_scanned = m_scan_rows_scanned_->Value();
+  s.scans.rows_selected = m_scan_rows_selected_->Value();
+  s.semijoin_reductions = m_semijoin_reductions_->Value();
+  s.bloom_filters_built = m_bloom_built_->Value();
+  s.bloom_probes_skipped = m_bloom_skipped_->Value();
+  s.traces_recorded = m_traces_->Value();
   return s;
 }
 

@@ -60,6 +60,9 @@
 #include "src/engine/prepared_query.h"
 #include "src/exec/operators.h"
 #include "src/exec/ranking.h"
+#include "src/exec/semijoin.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
 #include "src/serve/result_cache.h"
@@ -91,6 +94,12 @@ struct EngineOptions {
   /// Worker threads for Submit / batches / morsel-parallel operators;
   /// 0 = hardware concurrency. The pool starts lazily on first use.
   int num_threads = 0;
+  /// Trace every Nth execution (1 = every execution, 0 = only executions
+  /// whose Bindings request it via EnableTrace). A traced execution builds
+  /// a span tree (one span per plan node, annotated with rows, chunk
+  /// pruning, cache interactions, SIMD path) attached to its QueryResult;
+  /// untraced executions pay a single branch per instrumentation site.
+  size_t trace_sample_every = 0;
 };
 
 struct EngineStats {
@@ -123,6 +132,13 @@ struct EngineStats {
   /// Chunked-scan counters aggregated over every evaluated plan (zone-map
   /// pruning effectiveness, chunk-parallel scan usage).
   ChunkedScanStats scans;
+  /// Opt. 3 semi-join reductions actually computed (cache hits excluded),
+  /// with their Bloom pre-filter counters — previously dropped per-call.
+  size_t semijoin_reductions = 0;
+  size_t bloom_filters_built = 0;
+  size_t bloom_probes_skipped = 0;
+  /// Executions that recorded a span tree (sampling or per-query opt-in).
+  size_t traces_recorded = 0;
 };
 
 struct QueryResult {
@@ -136,6 +152,10 @@ struct QueryResult {
   size_t result_cache_hits = 0;
   /// Whether the compiled plan came from the engine's cache.
   bool from_plan_cache = false;
+  /// Span tree of this execution; non-null iff the execution was traced
+  /// (EngineOptions.trace_sample_every or Bindings::EnableTrace). Export
+  /// with ToText() / ToChromeJson() (Perfetto-loadable).
+  std::shared_ptr<const obs::QueryTrace> trace;
 };
 
 class QueryEngine {
@@ -237,7 +257,15 @@ class QueryEngine {
   Result<std::vector<QueryResult>> RunBatch(
       const std::vector<std::string>& query_texts);
 
+  /// Snapshot view assembled from the engine's metrics registry plus the
+  /// result cache and scheduler (see MetricsRegistry for the live handles).
   EngineStats stats() const;
+
+  /// The engine-owned metrics registry: every counter/gauge/histogram the
+  /// engine, its scheduler, and its executions record into. Exposes
+  /// PrometheusText() for scraping and histogram quantiles for latency
+  /// work (e.g. engine.execute_ns, scheduler.queue_wait_ns.query).
+  obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   /// `original_text` is the pre-canonicalization rendering of the query
@@ -261,9 +289,12 @@ class QueryEngine {
 
   /// Opt. 3 support: returns the semi-join reduction of the executed query
   /// under `overrides` against `snap`, cached under `key` when non-empty.
+  /// `stats`, if non-null, accumulates the reduction's semi-join counters
+  /// (only when the reduction is actually computed, not on a cache hit).
   Result<std::shared_ptr<const std::vector<Table>>> GetOrReduce(
       const std::string& key, const Snapshot& snap, const ConjunctiveQuery& q,
-      const std::unordered_map<int, const Table*>& overrides);
+      const std::unordered_map<int, const Table*>& overrides,
+      SemiJoinStats* stats);
 
   /// Commit-hook body: sweeps result-cache entries below the oldest live
   /// snapshot version (they can never be requested again).
@@ -304,17 +335,33 @@ class QueryEngine {
 
   mutable std::shared_mutex mu_;          // guards scheduler_ init
   std::unique_ptr<ResultCache> result_cache_;
-  mutable std::mutex scan_mu_;            // guards scan_stats_
-  ChunkedScanStats scan_stats_;
-  std::atomic<size_t> queries_{0};
-  std::atomic<size_t> batch_queries_{0};
-  std::atomic<size_t> prepared_{0};
-  std::atomic<size_t> cache_hits_{0};
-  std::atomic<size_t> cache_misses_{0};
-  std::atomic<size_t> canonical_remaps_{0};
-  std::atomic<size_t> canonical_remap_hits_{0};
-  std::atomic<size_t> reduction_hits_{0};
-  std::atomic<size_t> reduction_misses_{0};
+
+  // Engine-owned metrics registry (declared before scheduler_, which records
+  // into it) plus cached handles for the hot counters — EngineStats is
+  // assembled from these on demand, the registry is the source of truth.
+  mutable obs::MetricsRegistry metrics_;
+  obs::Counter* m_queries_;
+  obs::Counter* m_batch_queries_;
+  obs::Counter* m_prepared_;
+  obs::Counter* m_plan_hits_;
+  obs::Counter* m_plan_misses_;
+  obs::Counter* m_remaps_;
+  obs::Counter* m_remap_hits_;
+  obs::Counter* m_reduction_hits_;
+  obs::Counter* m_reduction_misses_;
+  obs::Counter* m_traces_;
+  obs::Counter* m_scan_filtered_;
+  obs::Counter* m_scan_parallel_;
+  obs::Counter* m_scan_chunks_scanned_;
+  obs::Counter* m_scan_chunks_pruned_;
+  obs::Counter* m_scan_rows_scanned_;
+  obs::Counter* m_scan_rows_selected_;
+  obs::Counter* m_bloom_built_;
+  obs::Counter* m_bloom_skipped_;
+  obs::Counter* m_semijoin_reductions_;
+  obs::Histogram* m_execute_ns_;
+  /// Round-robin tick for EngineOptions.trace_sample_every.
+  std::atomic<uint64_t> trace_tick_{0};
   /// Declared last on purpose: destroyed first, so the pool joins (running
   /// any still-queued Submit tasks to completion) while every member those
   /// tasks touch — caches, stats, counters — is still alive. Callers may

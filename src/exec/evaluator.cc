@@ -1,5 +1,6 @@
 #include "src/exec/evaluator.h"
 
+#include "src/common/simd.h"
 #include "src/exec/operators.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/scheduler.h"
@@ -46,11 +47,59 @@ std::string PlanEvaluator::SharedCacheKey(const PlanPtr& plan) {
   return key;
 }
 
+std::string PlanEvaluator::NodeLabel(const PlanPtr& plan) const {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      if (plan->atom_idx >= 0 && plan->atom_idx < q_.num_atoms()) {
+        return "scan " + q_.atom(plan->atom_idx).relation;
+      }
+      return "scan";
+    case PlanNode::Kind::kProject:
+      return "project";
+    case PlanNode::Kind::kJoin:
+      return "join";
+    case PlanNode::Kind::kMin:
+      return "min";
+  }
+  return "node";
+}
+
 Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
     const PlanPtr& plan) {
   auto it = cache_.find(plan.get());
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    if (trace_ != nullptr) {
+      // DAG sharing (Opt. 2): the node was evaluated once already; record
+      // a zero-work reference span so the span tree still expands to the
+      // plan's tree shape.
+      const uint32_t span = trace_->BeginSpan(NodeLabel(plan), trace_parent_);
+      trace_->Annotate(span, "reused", std::string("dag"));
+      trace_->Annotate(span, "rows_out",
+                       static_cast<uint64_t>(it->second->NumRows()));
+      trace_->EndSpan(span);
+    }
+    return it->second;
+  }
 
+  if (trace_ == nullptr) return EvaluateUncached(plan, 0);
+
+  const uint32_t span = trace_->BeginSpan(NodeLabel(plan), trace_parent_);
+  const uint32_t saved_parent = trace_parent_;
+  trace_parent_ = span;
+  auto result = EvaluateUncached(plan, span);
+  trace_parent_ = saved_parent;
+  if (result.ok()) {
+    trace_->Annotate(span, "rows_out",
+                     static_cast<uint64_t>((*result)->NumRows()));
+  } else {
+    trace_->Annotate(span, "error", result.status().ToString());
+  }
+  trace_->EndSpan(span);
+  return result;
+}
+
+Result<std::shared_ptr<const Rel>> PlanEvaluator::EvaluateUncached(
+    const PlanPtr& plan, uint32_t span) {
   // Workload-level sharing (Opt. 2 across queries): non-leaf nodes whose
   // atoms are all bound to catalog tables — or to overrides carrying a
   // content tag — key into the shared result cache by their
@@ -69,16 +118,25 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
         result_cache_->Acquire(shared_key, db_version_);
     if (ticket.value != nullptr) {
       ++result_cache_hits_;
+      if (trace_ != nullptr) {
+        trace_->Annotate(span, "result_cache", std::string("hit"));
+      }
       cache_.emplace(plan.get(), ticket.value);
       return ticket.value;
     }
     if (ticket.leader) {
       lead.Arm(result_cache_, &shared_key, db_version_);
+      if (trace_ != nullptr) {
+        trace_->Annotate(span, "result_cache", std::string("lead"));
+      }
     } else {
       // Waiting is deadlock-free: the leader is already executing and only
       // ever waits on strictly smaller fingerprints itself.
       if (auto rel = ticket.pending.get()) {
         ++result_cache_hits_;
+        if (trace_ != nullptr) {
+          trace_->Annotate(span, "result_cache", std::string("wait"));
+        }
         cache_.emplace(plan.get(), rel);
         return rel;
       }
@@ -95,18 +153,49 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
       const Table* override_table = nullptr;
       auto oit = overrides_.find(plan->atom_idx);
       if (oit != overrides_.end()) override_table = oit->second.table;
+      const ChunkedScanStats before = scan_stats_;
       auto rel = live_db_ != nullptr
                      ? ScanAtom(*live_db_, q_, plan->atom_idx, override_table,
                                 scheduler_, &scan_stats_)
                      : ScanAtom(snap_, q_, plan->atom_idx, override_table,
                                 scheduler_, &scan_stats_);
       if (!rel.ok()) return rel.status();
+      if (trace_ != nullptr) {
+        if (override_table != nullptr) {
+          trace_->Annotate(span, "override", std::string("bound"));
+        }
+        if (scan_stats_.filtered_scans > before.filtered_scans) {
+          trace_->Annotate(span, "path",
+                           scan_stats_.parallel_scans > before.parallel_scans
+                               ? std::string("filtered-parallel")
+                               : std::string("filtered"));
+          trace_->Annotate(
+              span, "chunks_scanned",
+              static_cast<uint64_t>(scan_stats_.chunks_scanned -
+                                    before.chunks_scanned));
+          trace_->Annotate(span, "chunks_pruned",
+                           static_cast<uint64_t>(scan_stats_.chunks_pruned -
+                                                 before.chunks_pruned));
+          trace_->Annotate(span, "rows_scanned",
+                           static_cast<uint64_t>(scan_stats_.rows_scanned -
+                                                 before.rows_scanned));
+        } else {
+          trace_->Annotate(span, "path", std::string("zero-copy"));
+        }
+      }
       result = std::make_shared<const Rel>(std::move(*rel));
       break;
     }
     case PlanNode::Kind::kProject: {
       auto child = Evaluate(plan->children[0]);
       if (!child.ok()) return child.status();
+      if (trace_ != nullptr) {
+        trace_->Annotate(span, "rows_in",
+                         static_cast<uint64_t>((*child)->NumRows()));
+        trace_->Annotate(span, "simd",
+                         simd::UseAvx2() ? std::string("avx2")
+                                         : std::string("scalar"));
+      }
       // Virtual (dissociated) variables may appear in the node's head but
       // not in the materialized child; project onto what exists.
       VarMask keep = plan->head & (*child)->var_mask();
@@ -120,6 +209,14 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::Evaluate(
         auto r = Evaluate(c);
         if (!r.ok()) return r.status();
         inputs.push_back(*r);
+      }
+      if (trace_ != nullptr) {
+        uint64_t rows_in = 0;
+        for (const auto& in : inputs) rows_in += in->NumRows();
+        trace_->Annotate(span, "rows_in", rows_in);
+        trace_->Annotate(span, "simd",
+                         simd::UseAvx2() ? std::string("avx2")
+                                         : std::string("scalar"));
       }
       // Greedy join order: start from the smallest input, then repeatedly
       // join the smallest input sharing a variable with the accumulated
@@ -178,16 +275,23 @@ template <typename MakeEvaluator>
 Result<Rel> EvaluateSeparatelyImpl(const MakeEvaluator& make_evaluator,
                                    const std::vector<PlanPtr>& plans,
                                    const AtomOverrides& overrides,
-                                   ChunkedScanStats* scan_stats) {
+                                   ChunkedScanStats* scan_stats,
+                                   obs::TraceContext* trace,
+                                   uint32_t trace_parent) {
   std::vector<Rel> results;
+  size_t plan_idx = 0;
   for (const auto& p : plans) {
     PlanEvaluator ev = make_evaluator();  // fresh: no cross-plan sharing
     for (const auto& [idx, ov] : overrides) ev.SetAtomTable(idx, ov.table, ov.tag);
+    obs::ScopedSpan plan_span(trace, "plan " + std::to_string(plan_idx++),
+                              trace_parent);
+    if (trace != nullptr) ev.SetTrace(trace, plan_span.id());
     auto r = ev.Evaluate(p);
     if (!r.ok()) return r.status();
     if (scan_stats != nullptr) scan_stats->MergeFrom(ev.scan_stats());
     results.push_back(**r);
   }
+  obs::ScopedSpan merge_span(trace, "min-merge", trace_parent);
   return MinMerge(results);
 }
 
@@ -197,18 +301,20 @@ Result<Rel> EvaluatePlansSeparately(
     const Snapshot& snap, const ConjunctiveQuery& q,
     const std::vector<PlanPtr>& plans,
     const AtomOverrides& overrides,
-    ChunkedScanStats* scan_stats) {
+    ChunkedScanStats* scan_stats,
+    obs::TraceContext* trace, uint32_t trace_parent) {
   return EvaluateSeparatelyImpl([&] { return PlanEvaluator(snap, q); }, plans,
-                                overrides, scan_stats);
+                                overrides, scan_stats, trace, trace_parent);
 }
 
 Result<Rel> EvaluatePlansSeparately(
     const Database& db, const ConjunctiveQuery& q,
     const std::vector<PlanPtr>& plans,
     const AtomOverrides& overrides,
-    ChunkedScanStats* scan_stats) {
+    ChunkedScanStats* scan_stats,
+    obs::TraceContext* trace, uint32_t trace_parent) {
   return EvaluateSeparatelyImpl([&] { return PlanEvaluator(db, q); }, plans,
-                                overrides, scan_stats);
+                                overrides, scan_stats, trace, trace_parent);
 }
 
 }  // namespace dissodb

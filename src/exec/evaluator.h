@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/exec/operators.h"
 #include "src/exec/rel.h"
+#include "src/obs/trace.h"
 #include "src/plan/plan.h"
 #include "src/query/cq.h"
 #include "src/storage/database.h"
@@ -92,6 +93,16 @@ class PlanEvaluator {
   /// out as morsels. Results are bit-identical with or without it.
   void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
 
+  /// Attaches a trace context: every Evaluate call opens one span (named
+  /// by node kind, scans by relation) under `parent`, annotated with row
+  /// counts, chunk-pruning deltas, cache interactions, and the SIMD path.
+  /// Null (the default) keeps evaluation on the untraced fast path — the
+  /// only cost is one branch per node.
+  void SetTrace(obs::TraceContext* trace, uint32_t parent) {
+    trace_ = trace;
+    trace_parent_ = parent;
+  }
+
   /// Evaluates `plan`; results of shared nodes are cached by node identity
   /// for the lifetime of the evaluator.
   Result<std::shared_ptr<const Rel>> Evaluate(const PlanPtr& plan);
@@ -113,6 +124,15 @@ class PlanEvaluator {
   /// overridden atom the subplan touches.
   std::string SharedCacheKey(const PlanPtr& plan);
 
+  /// Evaluate() body past the node-identity memo: result-cache exchange
+  /// plus the operator switch. `span` is the node's open trace span (0
+  /// when untraced).
+  Result<std::shared_ptr<const Rel>> EvaluateUncached(const PlanPtr& plan,
+                                                      uint32_t span);
+
+  /// Span label for `plan` ("scan R", "join", "project", "min").
+  std::string NodeLabel(const PlanPtr& plan) const;
+
   /// Exactly one of these identifies the catalog: a pinned snapshot
   /// (serving path) or a live database (legacy shim).
   Snapshot snap_;
@@ -129,25 +149,33 @@ class PlanEvaluator {
   ResultCache* result_cache_ = nullptr;
   uint64_t db_version_ = 0;
   Scheduler* scheduler_ = nullptr;
+  obs::TraceContext* trace_ = nullptr;
+  uint32_t trace_parent_ = 0;  ///< parent for the next span Evaluate opens
 };
 
 /// Evaluates each plan independently (no sharing) and min-merges the
 /// per-answer scores: the naive "evaluate all minimal plans" strategy that
 /// Opt. 1-3 improve upon. `scan_stats`, if given, accumulates the chunked
 /// scan counters across all per-plan evaluators. All plans read the one
-/// pinned snapshot.
+/// pinned snapshot. When `trace` is given, each plan evaluates under its
+/// own "plan k" span (parent `trace_parent`) followed by a "min-merge"
+/// span.
 Result<Rel> EvaluatePlansSeparately(const Snapshot& snap,
                                     const ConjunctiveQuery& q,
                                     const std::vector<PlanPtr>& plans,
                                     const AtomOverrides& overrides = {},
-                                    ChunkedScanStats* scan_stats = nullptr);
+                                    ChunkedScanStats* scan_stats = nullptr,
+                                    obs::TraceContext* trace = nullptr,
+                                    uint32_t trace_parent = 0);
 
 /// Legacy shim over the live head of `db`.
 Result<Rel> EvaluatePlansSeparately(const Database& db,
                                     const ConjunctiveQuery& q,
                                     const std::vector<PlanPtr>& plans,
                                     const AtomOverrides& overrides = {},
-                                    ChunkedScanStats* scan_stats = nullptr);
+                                    ChunkedScanStats* scan_stats = nullptr,
+                                    obs::TraceContext* trace = nullptr,
+                                    uint32_t trace_parent = 0);
 
 }  // namespace dissodb
 

@@ -1,0 +1,205 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace dissodb {
+namespace obs {
+
+unsigned ThreadIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+unsigned Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<unsigned>(value);
+  // Octave o = position of the leading bit (>= 4); the two bits below it
+  // pick one of 4 linear sub-buckets.
+  const unsigned o = 63 - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned sub = static_cast<unsigned>((value >> (o - 2)) & 3);
+  const unsigned idx = 16 + (o - 4) * 4 + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(unsigned idx) {
+  if (idx < 16) return idx;
+  const unsigned o = 4 + (idx - 16) / 4;
+  const unsigned sub = (idx - 16) % 4;
+  return (uint64_t{1} << o) + uint64_t{sub} * (uint64_t{1} << (o - 2));
+}
+
+uint64_t Histogram::BucketUpperBound(unsigned idx) {
+  if (idx + 1 >= kBuckets) return ~uint64_t{0};
+  return BucketLowerBound(idx + 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& s = shards_[ThreadIndex() & (kShards - 1)];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !s.max.compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q >= 1.0) return static_cast<double>(max);
+  if (q < 0.0) q = 0.0;
+  // Rank of the target sample (1-based), then walk the buckets and
+  // interpolate linearly inside the one containing it.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  uint64_t seen = 0;
+  for (unsigned b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t lo_rank = seen + 1;
+    seen += buckets[b];
+    if (rank <= static_cast<double>(seen)) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(b));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(b));
+      // The top bucket's nominal bound is 2^64; the observed max is tighter.
+      hi = std::min(hi, static_cast<double>(max) + 1.0);
+      if (hi <= lo) return lo;
+      const double frac =
+          buckets[b] <= 1
+              ? 0.0
+              : (rank - static_cast<double>(lo_rank)) /
+                    static_cast<double>(buckets[b] - 1);
+      return lo + (hi - 1.0 - lo) * frac;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = counter_by_name_.find(key);
+  if (it != counter_by_name_.end()) return it->second;
+  Counter* c = &counters_.emplace_back();
+  counter_by_name_.emplace(key, c);
+  counter_order_.emplace_back(std::move(key), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = gauge_by_name_.find(key);
+  if (it != gauge_by_name_.end()) return it->second;
+  Gauge* g = &gauges_.emplace_back();
+  gauge_by_name_.emplace(key, g);
+  gauge_order_.emplace_back(std::move(key), g);
+  return g;
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = histogram_by_name_.find(key);
+  if (it != histogram_by_name_.end()) return it->second;
+  Histogram* h = &histograms_.emplace_back();
+  histogram_by_name_.emplace(key, h);
+  histogram_order_.emplace_back(std::move(key), h);
+  return h;
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "dissodb_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  // Copy the ordered handle lists under the lock, then read the (atomic)
+  // metric values outside it.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard lock(mu_);
+    counters = counter_order_;
+    gauges = gauge_order_;
+    histograms = histogram_order_;
+  }
+  std::string out;
+  for (const auto& [name, c] : counters) {
+    const std::string pn = PromName(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges) {
+    const std::string pn = PromName(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string pn = PromName(name);
+    const HistogramSnapshot s = h->Snapshot();
+    out += "# TYPE " + pn + " histogram\n";
+    uint64_t cumulative = 0;
+    for (unsigned b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;
+      cumulative += s.buckets[b];
+      out += pn + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+    out += pn + "_sum " + std::to_string(s.sum) + "\n";
+    out += pn + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace obs
+}  // namespace dissodb

@@ -1,0 +1,169 @@
+// Process- and engine-level metrics: named counters, gauges, and
+// log-bucketed latency histograms, cheap enough for morsel-level use.
+//
+// Write path: every metric is sharded into cache-line-padded cells indexed
+// by a per-thread slot (obs::ThreadIndex()), so concurrent increments from
+// pool workers never contend on one cache line — a counter Add is a single
+// relaxed fetch_add on a thread-private-ish cell. Reads aggregate the
+// shards, so Value()/Snapshot() are O(shards) and intended for stats
+// assembly, dashboards, and test assertions, not hot paths.
+//
+// Histograms are log-bucketed (exact below 16, then 4 sub-buckets per
+// power of two, 256 buckets total): enough resolution for p50/p95/p99 of
+// latencies spanning nanoseconds to minutes at a fixed, tiny footprint.
+//
+// Export: MetricsRegistry::PrometheusText() renders every registered
+// metric in the Prometheus text exposition format (counters, gauges, and
+// cumulative-`le` histogram series with _count/_sum), names sanitized to
+// [a-zA-Z0-9_:] with a "dissodb_" prefix.
+//
+// Registries are independent (each QueryEngine owns one; tests construct
+// their own); MetricsRegistry::Global() offers a process-wide default.
+// Metric handles returned by counter()/gauge()/histogram() are stable for
+// the registry's lifetime — look them up once and keep the pointer.
+#ifndef DISSODB_OBS_METRICS_H_
+#define DISSODB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dissodb {
+namespace obs {
+
+/// Small dense per-thread slot (assigned on first use, round-robin over
+/// the shard count). Shared by every sharded metric and by trace spans,
+/// which use it as the Perfetto track id.
+unsigned ThreadIndex();
+
+/// Shards per metric: threads hash onto these. A power of two.
+inline constexpr unsigned kShards = 16;
+
+namespace internal {
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace internal
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[ThreadIndex() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  internal::ShardCell cells_[kShards];
+};
+
+/// Last-writer-wins signed gauge with relative updates (pool utilization,
+/// entry counts). Not sharded: Set and Add must observe one value.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Aggregated view of a histogram at one point in time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  /// Per-bucket counts (see Histogram::BucketLowerBound for the ranges).
+  std::vector<uint64_t> buckets;
+
+  /// Quantile estimate by bucket interpolation; q in [0, 1]. Returns 0 for
+  /// an empty histogram; q >= 1 returns the exact max.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+  double Mean() const { return count ? static_cast<double>(sum) / count : 0; }
+};
+
+/// Log-bucketed histogram of non-negative integer samples (typically
+/// nanoseconds). Recording is two relaxed atomic adds plus a max update on
+/// a sharded cell block.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 256;
+
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+  /// Index of the bucket `value` falls into: values < 16 map exactly,
+  /// larger ones to 4 linear sub-buckets per power of two.
+  static unsigned BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `idx` (inclusive lower bound).
+  static uint64_t BucketLowerBound(unsigned idx);
+  /// First value beyond bucket `idx` (exclusive upper bound).
+  static uint64_t BucketUpperBound(unsigned idx);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+  Shard shards_[kShards];
+};
+
+/// Named metric registry. Thread-safe; handles are stable pointers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Prometheus text exposition format: one block per registered metric,
+  /// names prefixed "dissodb_" and sanitized ('.', '-' -> '_'). Histograms
+  /// render cumulative le-buckets (non-empty boundaries plus +Inf),
+  /// _count, and _sum.
+  std::string PrometheusText() const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  // deques: stable element addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::unordered_map<std::string, Counter*> counter_by_name_;
+  std::unordered_map<std::string, Gauge*> gauge_by_name_;
+  std::unordered_map<std::string, Histogram*> histogram_by_name_;
+  // Registration order, for deterministic export.
+  std::vector<std::pair<std::string, const Counter*>> counter_order_;
+  std::vector<std::pair<std::string, const Gauge*>> gauge_order_;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_order_;
+};
+
+/// Steady-clock nanoseconds (monotonic; shared epoch across threads).
+uint64_t NowNanos();
+
+}  // namespace obs
+}  // namespace dissodb
+
+#endif  // DISSODB_OBS_METRICS_H_

@@ -1,0 +1,172 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+
+namespace dissodb {
+namespace obs {
+
+uint32_t TraceContext::BeginSpan(std::string name, uint32_t parent) {
+  const uint64_t now = NowNanos();
+  const unsigned thread = ThreadIndex();
+  std::lock_guard lock(mu_);
+  TraceSpan& s = spans_.emplace_back();
+  s.id = static_cast<uint32_t>(spans_.size());
+  s.parent = parent;
+  s.name = std::move(name);
+  s.start_ns = now;
+  s.thread = thread;
+  return s.id;
+}
+
+void TraceContext::EndSpan(uint32_t id) {
+  if (id == 0) return;
+  const uint64_t now = NowNanos();
+  std::lock_guard lock(mu_);
+  if (id <= spans_.size()) spans_[id - 1].end_ns = now;
+}
+
+void TraceContext::Annotate(uint32_t id, std::string key, std::string value) {
+  if (id == 0) return;
+  std::lock_guard lock(mu_);
+  if (id <= spans_.size()) {
+    spans_[id - 1].args.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void TraceContext::Annotate(uint32_t id, std::string key, uint64_t value) {
+  Annotate(id, std::move(key), std::to_string(value));
+}
+
+void TraceContext::Annotate(uint32_t id, std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  Annotate(id, std::move(key), std::string(buf));
+}
+
+QueryTrace TraceContext::Finish() {
+  const uint64_t now = NowNanos();
+  QueryTrace out;
+  std::lock_guard lock(mu_);
+  for (TraceSpan& s : spans_) {
+    if (s.end_ns == 0) s.end_ns = now;
+  }
+  out.spans = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+std::vector<const TraceSpan*> QueryTrace::ChildrenOf(uint32_t parent) const {
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& s : spans) {
+    if (s.parent == parent) out.push_back(&s);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+  return out;
+}
+
+namespace {
+
+std::string FmtDuration(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+void AppendTextTree(const QueryTrace& t, uint32_t parent,
+                    const std::string& prefix, std::string* out) {
+  const auto children = t.ChildrenOf(parent);
+  for (size_t i = 0; i < children.size(); ++i) {
+    const TraceSpan& s = *children[i];
+    const bool last = i + 1 == children.size();
+    if (!prefix.empty() || parent != 0) {
+      *out += prefix + (last ? "`- " : "|- ");
+    }
+    *out += s.name + "  [" + FmtDuration(s.end_ns - s.start_ns) + "]";
+    for (const auto& [k, v] : s.args) *out += "  " + k + "=" + v;
+    *out += "\n";
+    const std::string child_prefix =
+        (prefix.empty() && parent == 0)
+            ? std::string()
+            : prefix + (last ? "   " : "|  ");
+    AppendTextTree(t, s.id, child_prefix, out);
+  }
+}
+
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::ToText() const {
+  std::string out;
+  AppendTextTree(*this, 0, "", &out);
+  return out;
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  uint64_t epoch = ~uint64_t{0};
+  for (const TraceSpan& s : spans) epoch = std::min(epoch, s.start_ns);
+  if (spans.empty()) epoch = 0;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(s.name, &out);
+    out += "\",\"cat\":\"query\",\"ph\":\"X\"";
+    char num[64];
+    std::snprintf(num, sizeof(num),
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                  (s.start_ns - epoch) / 1e3, (s.end_ns - s.start_ns) / 1e3,
+                  s.thread);
+    out += num;
+    // Structural links survive into Perfetto as plain args.
+    out += ",\"args\":{\"span_id\":" + std::to_string(s.id) +
+           ",\"parent_id\":" + std::to_string(s.parent);
+    for (const auto& [k, v] : s.args) {
+      out += ",\"";
+      AppendJsonEscaped(k, &out);
+      out += "\":\"";
+      AppendJsonEscaped(v, &out);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dissodb

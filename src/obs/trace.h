@@ -1,0 +1,110 @@
+// Per-query execution tracing: a span tree over one execution, one span
+// per plan node / engine stage, annotated with row counts, chunk-pruning
+// stats, cache interactions, and the SIMD-vs-scalar dispatch taken.
+//
+// Cost model: tracing is strictly opt-in per execution (EngineOptions
+// sampling or Bindings::EnableTrace). Untraced executions carry a null
+// TraceContext* and pay exactly one branch per instrumentation site; the
+// registry-level metrics (src/obs/metrics.h) stay on either way.
+//
+// A finished trace is a QueryTrace — an immutable span list (parent links
+// by id) with three export surfaces:
+//   - ToText():       EXPLAIN-ANALYZE-style tree for terminals,
+//   - ToChromeJson(): Chrome trace-event JSON ("X" complete events, spans
+//                     placed on their executing thread's track) loadable
+//                     in Perfetto / chrome://tracing,
+// and the raw spans for programmatic assertions (tests).
+//
+// Thread model: spans may begin/end on any thread (TraceContext is
+// internally locked); each span records the obs::ThreadIndex() of the
+// thread that opened it, which becomes its Perfetto track.
+#ifndef DISSODB_OBS_TRACE_H_
+#define DISSODB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dissodb {
+namespace obs {
+
+/// One completed (or still-open) span. Ids are 1-based; parent 0 = root.
+struct TraceSpan {
+  uint32_t id = 0;
+  uint32_t parent = 0;
+  std::string name;
+  uint64_t start_ns = 0;  ///< obs::NowNanos() at BeginSpan
+  uint64_t end_ns = 0;    ///< 0 while open
+  unsigned thread = 0;    ///< obs::ThreadIndex() of the opening thread
+  /// Ordered key/value annotations (rows_out, chunks_pruned, cache, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// The immutable result of a traced execution.
+struct QueryTrace {
+  std::vector<TraceSpan> spans;  ///< in id order (spans[i].id == i + 1)
+
+  /// EXPLAIN-ANALYZE-style tree: one line per span with wall time and
+  /// annotations, children indented under their parent in start order.
+  std::string ToText() const;
+
+  /// Chrome trace-event JSON (Perfetto-loadable): one complete ("X")
+  /// event per span on its executing thread's track, annotations in
+  /// `args`, timestamps in microseconds relative to the trace start.
+  std::string ToChromeJson() const;
+
+  /// Spans under `parent` (0 = roots), in start order.
+  std::vector<const TraceSpan*> ChildrenOf(uint32_t parent) const;
+};
+
+/// Mutable span recorder for one execution. All methods are thread-safe;
+/// annotation after EndSpan is allowed (spans are finalized by Finish).
+class TraceContext {
+ public:
+  /// Opens a span; returns its id. `parent` 0 makes it a root.
+  uint32_t BeginSpan(std::string name, uint32_t parent);
+
+  /// Closes `id` (stamps end_ns). No-op for id 0.
+  void EndSpan(uint32_t id);
+
+  void Annotate(uint32_t id, std::string key, std::string value);
+  void Annotate(uint32_t id, std::string key, uint64_t value);
+  void Annotate(uint32_t id, std::string key, double value);
+
+  /// Moves the recorded spans out as an immutable trace; open spans are
+  /// closed at the current time.
+  QueryTrace Finish();
+
+ private:
+  std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: closes on scope exit. Null-context-safe (id stays 0).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceContext* ctx, std::string name, uint32_t parent)
+      : ctx_(ctx) {
+    if (ctx_ != nullptr) id_ = ctx_->BeginSpan(std::move(name), parent);
+  }
+  ~ScopedSpan() {
+    if (ctx_ != nullptr && id_ != 0) ctx_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint32_t id() const { return id_; }
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dissodb
+
+#endif  // DISSODB_OBS_TRACE_H_

@@ -5,11 +5,17 @@
 
 namespace dissodb {
 
-Scheduler::Scheduler(int num_threads) {
+Scheduler::Scheduler(int num_threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()),
+      tasks_executed_(metrics_->counter("scheduler.tasks_executed")),
+      morsels_(metrics_->counter("scheduler.morsels")),
+      busy_workers_(metrics_->gauge("scheduler.busy_workers")),
+      pool_threads_(metrics_->gauge("scheduler.pool_threads")) {
   if (num_threads <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
     num_threads = hw > 0 ? static_cast<int>(hw) : 1;
   }
+  pool_threads_->Set(num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -25,9 +31,31 @@ Scheduler::~Scheduler() {
   for (auto& w : workers_) w.join();
 }
 
+Scheduler::ClassMetrics* Scheduler::MetricsFor(const char* task_class) {
+  // Caller holds mu_. The per-scheduler cache keeps the registry's map
+  // lookup off the Submit path after a class's first use.
+  auto it = class_metrics_.find(task_class);
+  if (it != class_metrics_.end()) return &it->second;
+  ClassMetrics cm;
+  cm.queue_wait = metrics_->histogram(std::string("scheduler.queue_wait_ns.") +
+                                      task_class);
+  cm.run = metrics_->histogram(std::string("scheduler.run_ns.") + task_class);
+  return &class_metrics_.emplace(task_class, cm).first->second;
+}
+
+void Scheduler::RunTask(QueuedTask task) {
+  const uint64_t start = obs::NowNanos();
+  task.cm->queue_wait->Record(start - task.enqueue_ns);
+  busy_workers_->Add(1);
+  task.fn();
+  busy_workers_->Add(-1);
+  task.cm->run->Record(obs::NowNanos() - start);
+  CountTask();
+}
+
 void Scheduler::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -35,29 +63,28 @@ void Scheduler::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    RunTask(std::move(task));
   }
 }
 
-void Scheduler::Submit(std::function<void()> fn) {
+void Scheduler::Submit(std::function<void()> fn, const char* task_class) {
+  const uint64_t now = obs::NowNanos();
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(QueuedTask{std::move(fn), now, MetricsFor(task_class)});
   }
   cv_.notify_one();
 }
 
 bool Scheduler::TryRunOne() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     std::lock_guard lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
-  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  RunTask(std::move(task));
   return true;
 }
 
@@ -88,7 +115,7 @@ void Scheduler::RunAll(std::vector<std::function<void()>> fns) {
   if (fns.empty()) return;
   if (fns.size() == 1) {
     fns[0]();
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    CountTask();
     return;
   }
   // Shared cursor: pool threads and the caller claim tasks from the same
@@ -104,13 +131,13 @@ void Scheduler::RunAll(std::vector<std::function<void()>> fns) {
     size_t i;
     while ((i = next->fetch_add(1, std::memory_order_relaxed)) < n) {
       (*tasks)[i]();
-      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      CountTask();
       wg->Done();
     }
   };
   const size_t helpers =
       std::min(n - 1, static_cast<size_t>(num_threads()));
-  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  for (size_t i = 0; i < helpers; ++i) Submit(drain, "helper");
   drain();
   wg->Wait();
 }
@@ -123,7 +150,8 @@ void Scheduler::ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t num_morsels = (n + grain - 1) / grain;
   if (num_morsels <= 1 || num_threads() == 0) {
     fn(begin, end);
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    CountTask();
+    morsels_->Add(1);
     return;
   }
 
@@ -139,13 +167,14 @@ void Scheduler::ParallelFor(size_t begin, size_t end, size_t grain,
       const size_t lo = begin + k * grain;
       const size_t hi = std::min(lo + grain, end);
       (*shared_fn)(lo, hi);
-      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      CountTask();
       wg->Done();
     }
   };
+  morsels_->Add(num_morsels);
   const size_t helpers =
       std::min(num_morsels - 1, static_cast<size_t>(num_threads()));
-  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  for (size_t i = 0; i < helpers; ++i) Submit(drain, "helper");
   drain();
   wg->Wait();
 }

@@ -11,24 +11,39 @@
 // task invoking a morsel-parallel operator on the same scheduler) can never
 // deadlock — the caller always makes progress even if every pool thread is
 // busy elsewhere.
+//
+// Telemetry: every queue task records its enqueue->start wait and its run
+// time into per-task-class histograms on the attached MetricsRegistry
+// (scheduler.queue_wait_ns.<class> / scheduler.run_ns.<class>), alongside
+// a busy-worker gauge and a ParallelFor morsel counter — the raw data for
+// tail-latency work on the serve-under-writer path. Task classes are
+// caller-chosen labels (the engine submits query tasks as "query"; the
+// internal morsel drain helpers are "helper").
 #ifndef DISSODB_SERVE_SCHEDULER_H_
 #define DISSODB_SERVE_SCHEDULER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace dissodb {
 
 class Scheduler {
  public:
   /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency.
-  explicit Scheduler(int num_threads = 0);
+  /// Telemetry lands on `metrics` (nullptr = the process-global registry).
+  explicit Scheduler(int num_threads = 0,
+                     obs::MetricsRegistry* metrics = nullptr);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -36,13 +51,17 @@ class Scheduler {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Total tasks executed (queue tasks + morsels), for serving stats.
+  /// Total tasks executed (queue tasks + morsels) by *this* pool, for
+  /// serving stats. Kept per-instance (the registry counter with the same
+  /// meaning aggregates across every pool sharing the registry).
   size_t tasks_executed() const {
-    return tasks_executed_.load(std::memory_order_relaxed);
+    return local_tasks_.load(std::memory_order_relaxed);
   }
 
-  /// Enqueues `fn` for execution on some pool thread.
-  void Submit(std::function<void()> fn);
+  /// Enqueues `fn` for execution on some pool thread. `task_class` labels
+  /// the queue-wait / run-time histograms the task records into; reuse a
+  /// small set of stable names ("query", "helper", default "task").
+  void Submit(std::function<void()> fn, const char* task_class = "task");
 
   /// Runs one queued task on the calling thread, if any is pending; returns
   /// whether a task ran. Lets a thread that is about to block on an
@@ -64,14 +83,45 @@ class Scheduler {
                    const std::function<void(size_t, size_t)>& fn);
 
  private:
+  /// Cached per-class metric handles (one histogram pair per task class).
+  struct ClassMetrics {
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* run = nullptr;
+  };
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+    ClassMetrics* cm = nullptr;
+  };
+
   void WorkerLoop();
+  /// Dequeued-task body shared by WorkerLoop and TryRunOne: records the
+  /// queue wait, runs, records the run time, counts the task.
+  void RunTask(QueuedTask task);
+  /// Handle lookup (under mu_) with a per-scheduler cache.
+  ClassMetrics* MetricsFor(const char* task_class);
+
+  /// Counts a finished task into both the per-instance total and the
+  /// registry counter.
+  void CountTask() {
+    local_tasks_.fetch_add(1, std::memory_order_relaxed);
+    tasks_executed_->Add(1);
+  }
+
+  obs::MetricsRegistry* metrics_;
+  std::atomic<size_t> local_tasks_{0};
+  obs::Counter* tasks_executed_;
+  obs::Counter* morsels_;
+  obs::Gauge* busy_workers_;
+  obs::Gauge* pool_threads_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
+  std::unordered_map<std::string, ClassMetrics> class_metrics_;
   bool shutdown_ = false;
-  std::atomic<size_t> tasks_executed_{0};
 };
 
 }  // namespace dissodb

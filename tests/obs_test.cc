@@ -1,0 +1,176 @@
+// Metrics-registry units: sharded counters and histograms under concurrent
+// writers, log-bucket geometry, quantile estimation, and the Prometheus
+// text exposition.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace dissodb {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndRelativeAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Add(-12);
+  EXPECT_EQ(g.Value(), 3);
+}
+
+TEST(HistogramTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    unsigned idx = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(idx), v + 1);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  // Every probed value must fall inside [lower, upper) of its own bucket,
+  // and indices must be monotone in the value.
+  unsigned prev = 0;
+  for (uint64_t v = 0; v < 1u << 22; v = v < 16 ? v + 1 : v + v / 3 + 1) {
+    unsigned idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << "value " << v;
+    EXPECT_GT(Histogram::BucketUpperBound(idx), v) << "value " << v;
+    prev = idx;
+  }
+  // Huge values saturate into the last bucket instead of overflowing.
+  EXPECT_LT(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets);
+}
+
+TEST(HistogramTest, SnapshotCountSumMax) {
+  Histogram h;
+  h.Record(3);
+  h.Record(7);
+  h.Record(1000);
+  auto s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 1010u);
+  EXPECT_EQ(s.max, 1000u);
+}
+
+TEST(HistogramTest, QuantilesOfUniformSamples) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  auto s = h.Snapshot();
+  // Log buckets above 16 have <= 25% relative width, so interpolated
+  // quantiles land within ~13% of the true value.
+  EXPECT_NEAR(s.p50(), 5000.0, 5000.0 * 0.15);
+  EXPECT_NEAR(s.p95(), 9500.0, 9500.0 * 0.15);
+  EXPECT_NEAR(s.p99(), 9900.0, 9900.0 * 0.15);
+  // q >= 1 is the exact observed max; empty histograms read 0.
+  EXPECT_EQ(s.Quantile(1.0), 10000.0);
+  EXPECT_EQ(Histogram().Snapshot().Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileNeverExceedsMax) {
+  Histogram h;
+  h.Record(100);
+  auto s = h.Snapshot();
+  EXPECT_LE(s.p99(), 100.0);
+  EXPECT_EQ(s.Quantile(0.0), Histogram::BucketLowerBound(
+                                 Histogram::BucketIndex(100)));
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x.hits");
+  Counter* b = reg.counter("x.hits");
+  Counter* c = reg.counter("x.misses");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Same name in different metric kinds are distinct objects.
+  EXPECT_NE(static_cast<void*>(reg.gauge("x.hits")), static_cast<void*>(a));
+  // Handles survive registry growth (deque storage).
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  a->Add(7);
+  EXPECT_EQ(reg.counter("x.hits")->Value(), 7u);
+}
+
+TEST(RegistryTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("engine.queries")->Add(3);
+  reg.gauge("pool-threads")->Set(8);
+  reg.histogram("exec.latency_ns")->Record(100);
+  std::string text = reg.PrometheusText();
+
+  // Names are prefixed and sanitized to [a-zA-Z0-9_:].
+  EXPECT_NE(text.find("dissodb_engine_queries 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("dissodb_pool_threads 8"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE dissodb_engine_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dissodb_pool_threads gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dissodb_exec_latency_ns histogram"),
+            std::string::npos);
+  // Histograms expose cumulative le buckets plus +Inf, _sum and _count.
+  EXPECT_NE(text.find("dissodb_exec_latency_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dissodb_exec_latency_ns_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("dissodb_exec_latency_ns_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(NowNanosTest, Monotonic) {
+  uint64_t a = obs::NowNanos();
+  uint64_t b = obs::NowNanos();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace dissodb

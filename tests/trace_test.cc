@@ -1,0 +1,445 @@
+// Query tracing: span-tree shape against the evaluated plan, per-operator
+// row counts against the reference operators, balanced nesting under
+// pooled parallel execution, export formats, and the guarantee that
+// tracing-off executions are bit-identical to the untraced engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dissociation/dissociation.h"
+#include "src/dissociation/single_plan.h"
+#include "src/engine/query_engine.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/operators.h"
+#include "src/exec/semijoin.h"
+#include "src/obs/trace.h"
+#include "src/plan/plan.h"
+#include "src/query/analysis.h"
+#include "tests/reference_ops.h"
+#include "tests/test_util.h"
+
+namespace dissodb {
+namespace {
+
+using testing_util::AddTable;
+using testing_util::Canonical;
+using testing_util::Q;
+using testing_util::RefJoin;
+using testing_util::ToRef;
+
+Database RstDatabase() {
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.7}, {{2}, 0.5}});
+  AddTable(&db, "S", 2, {{{1, 10}, 0.9}, {{1, 20}, 0.4}, {{2, 20}, 0.8}});
+  AddTable(&db, "T", 1, {{{10}, 0.6}, {{20}, 0.3}});
+  return db;
+}
+
+const obs::TraceSpan* FindSpan(const obs::QueryTrace& trace,
+                               const std::string& name) {
+  for (const auto& s : trace.spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const std::string* Arg(const obs::TraceSpan& s, const std::string& key) {
+  for (const auto& [k, v] : s.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Spans in the subtree rooted at `root` (excluding `root` itself).
+size_t SubtreeSize(const obs::QueryTrace& trace, uint32_t root) {
+  size_t n = 0;
+  for (const auto* child : trace.ChildrenOf(root)) {
+    n += 1 + SubtreeSize(trace, child->id);
+  }
+  return n;
+}
+
+/// Every span tree invariant tracing promises: ids are dense and 1-based,
+/// parents precede children, every span is closed, and a child's interval
+/// nests inside its parent's.
+void ExpectBalanced(const obs::QueryTrace& trace) {
+  size_t roots = 0;
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const obs::TraceSpan& s = trace.spans[i];
+    EXPECT_EQ(s.id, i + 1);
+    EXPECT_NE(s.end_ns, 0u) << s.name;
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+    if (s.parent == 0) {
+      ++roots;
+      continue;
+    }
+    ASSERT_LT(s.parent, s.id) << s.name << ": parent must open first";
+    const obs::TraceSpan& p = trace.spans[s.parent - 1];
+    EXPECT_GE(s.start_ns, p.start_ns) << s.name << " under " << p.name;
+    EXPECT_LE(s.end_ns, p.end_ns) << s.name << " under " << p.name;
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext / ScopedSpan units
+// ---------------------------------------------------------------------------
+
+TEST(TraceContextTest, SpansNestAndFinishClosesOpenOnes) {
+  obs::TraceContext ctx;
+  uint32_t root = ctx.BeginSpan("root", 0);
+  uint32_t child = ctx.BeginSpan("child", root);
+  ctx.Annotate(child, "rows_out", uint64_t{42});
+  ctx.EndSpan(child);
+  // `root` is left open on purpose: Finish must close it.
+  obs::QueryTrace trace = ctx.Finish();
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].name, "root");
+  EXPECT_NE(trace.spans[0].end_ns, 0u);
+  EXPECT_EQ(trace.spans[1].parent, root);
+  ASSERT_NE(Arg(trace.spans[1], "rows_out"), nullptr);
+  EXPECT_EQ(*Arg(trace.spans[1], "rows_out"), "42");
+  ASSERT_EQ(trace.ChildrenOf(root).size(), 1u);
+  EXPECT_EQ(trace.ChildrenOf(root)[0]->name, "child");
+}
+
+TEST(TraceContextTest, ScopedSpanIsNullContextSafe) {
+  {
+    obs::ScopedSpan span(nullptr, "ignored", 0);
+    EXPECT_EQ(span.id(), 0u);
+  }
+  obs::TraceContext ctx;
+  {
+    obs::ScopedSpan span(&ctx, "real", 0);
+    EXPECT_NE(span.id(), 0u);
+  }
+  obs::QueryTrace trace = ctx.Finish();
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_NE(trace.spans[0].end_ns, 0u);
+}
+
+TEST(TraceExportTest, ChromeJsonHasOneCompleteEventPerSpan) {
+  obs::TraceContext ctx;
+  uint32_t root = ctx.BeginSpan("execute q() :- R(\"x\\y\")", 0);
+  ctx.EndSpan(ctx.BeginSpan("scan R", root));
+  ctx.EndSpan(root);
+  obs::QueryTrace trace = ctx.Finish();
+  std::string json = trace.ToChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json;
+  size_t events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, trace.spans.size());
+  // The quote and backslash in the span name must arrive escaped.
+  EXPECT_NE(json.find("\\\"x\\\\y\\\""), std::string::npos) << json;
+}
+
+TEST(TraceExportTest, TextTreeIndentsChildren) {
+  obs::TraceContext ctx;
+  uint32_t root = ctx.BeginSpan("execute", 0);
+  uint32_t eval = ctx.BeginSpan("evaluate", root);
+  ctx.EndSpan(ctx.BeginSpan("scan R", eval));
+  ctx.EndSpan(eval);
+  ctx.EndSpan(root);
+  std::string text = ctx.Finish().ToText();
+  EXPECT_NE(text.find("execute"), std::string::npos);
+  EXPECT_NE(text.find("evaluate"), std::string::npos);
+  EXPECT_NE(text.find("scan R"), std::string::npos);
+  EXPECT_LT(text.find("execute"), text.find("evaluate"));
+  EXPECT_LT(text.find("evaluate"), text.find("scan R"));
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator: span tree vs. plan tree
+// ---------------------------------------------------------------------------
+
+TEST(TraceShapeTest, SpanTreeExpandsToPlanTreeShape) {
+  // Example 17: the dissociated safe plan has DAG-shared nodes under Opt. 2;
+  // reused nodes must still emit (reference) spans, so the span tree always
+  // matches the plan's *tree* expansion.
+  Database db;
+  AddTable(&db, "R", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  AddTable(&db, "S", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  AddTable(&db, "T", 2, {{{1, 1}, 0.5}, {{1, 2}, 0.5}, {{2, 2}, 0.5}});
+  AddTable(&db, "U", 1, {{{1}, 0.5}, {{2}, 0.5}});
+  auto q = Q("q() :- R(x), S(x), T(x,y), U(y)");
+
+  auto sk = SchemaKnowledge::FromSnapshot(q, db.snapshot());
+  ASSERT_TRUE(sk.ok());
+  SinglePlanOptions sp;
+  sp.reuse_common_subplans = true;
+  auto plan = BuildSinglePlan(q, *sk, sp);
+  ASSERT_TRUE(plan.ok());
+  const size_t tree_nodes = MeasurePlan(*plan).tree_nodes;
+
+  obs::TraceContext ctx;
+  uint32_t root = ctx.BeginSpan("evaluate", 0);
+  PlanEvaluator ev(db.snapshot(), q);
+  ev.SetTrace(&ctx, root);
+  auto rel = ev.Evaluate(*plan);
+  ASSERT_TRUE(rel.ok());
+  ctx.EndSpan(root);
+  obs::QueryTrace trace = ctx.Finish();
+
+  ExpectBalanced(trace);
+  EXPECT_EQ(SubtreeSize(trace, root), tree_nodes);
+  // Opt. 2 means strictly fewer evaluations than tree nodes; the reused
+  // nodes appear as zero-work reference spans.
+  EXPECT_LT(ev.nodes_evaluated(), tree_nodes);
+  size_t reused = 0;
+  for (const auto& s : trace.spans) {
+    if (Arg(s, "reused") != nullptr) ++reused;
+  }
+  // Each of the tree_nodes plan spans is either a real evaluation or a
+  // zero-work reference to a DAG-shared result.
+  EXPECT_EQ(reused, tree_nodes - ev.nodes_evaluated());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level tracing
+// ---------------------------------------------------------------------------
+
+TEST(EngineTraceTest, OffByDefaultAndBitIdenticalWhenOn) {
+  Database db = RstDatabase();
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+
+  auto plain = engine.Execute(*prepared);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace, nullptr);
+  EXPECT_EQ(engine.stats().traces_recorded, 0u);
+
+  auto traced = engine.Execute(*prepared, Bindings().EnableTrace());
+  ASSERT_TRUE(traced.ok());
+  ASSERT_NE(traced->trace, nullptr);
+  EXPECT_EQ(engine.stats().traces_recorded, 1u);
+
+  // Tracing must not perturb results in any way.
+  ASSERT_EQ(traced->answers.size(), plain->answers.size());
+  for (size_t i = 0; i < plain->answers.size(); ++i) {
+    EXPECT_EQ(traced->answers[i].tuple, plain->answers[i].tuple);
+    EXPECT_EQ(traced->answers[i].score, plain->answers[i].score);
+  }
+  EXPECT_EQ(traced->nodes_evaluated, plain->nodes_evaluated);
+}
+
+TEST(EngineTraceTest, SpanRowCountsMatchReferenceOperators) {
+  Database db = RstDatabase();
+  QueryEngine engine = QueryEngine::Borrow(db);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+  auto res = engine.Execute(*prepared, Bindings().EnableTrace());
+  ASSERT_TRUE(res.ok());
+  ASSERT_NE(res->trace, nullptr);
+  const obs::QueryTrace& trace = *res->trace;
+  ExpectBalanced(trace);
+
+  // Scan spans report exactly the table row counts.
+  const auto scan_rows = [&](const std::string& rel) -> uint64_t {
+    const obs::TraceSpan* s = FindSpan(trace, "scan " + rel);
+    EXPECT_NE(s, nullptr) << rel;
+    if (s == nullptr) return 0;
+    const std::string* rows = Arg(*s, "rows_out");
+    EXPECT_NE(rows, nullptr) << rel;
+    return rows != nullptr ? std::stoull(*rows) : 0;
+  };
+  EXPECT_EQ(scan_rows("R"), 2u);
+  EXPECT_EQ(scan_rows("S"), 3u);
+  EXPECT_EQ(scan_rows("T"), 2u);
+
+  // Join spans: rows_in is the sum of the children's outputs, rows_out
+  // matches the reference nested-loop join on the child spans' relations.
+  bool checked_join = false;
+  for (const auto& s : trace.spans) {
+    if (s.name != "join") continue;
+    auto children = trace.ChildrenOf(s.id);
+    uint64_t child_rows = 0;
+    for (const auto* c : children) {
+      const std::string* rows = Arg(*c, "rows_out");
+      ASSERT_NE(rows, nullptr) << c->name;
+      child_rows += std::stoull(*rows);
+    }
+    const std::string* rows_in = Arg(s, "rows_in");
+    ASSERT_NE(rows_in, nullptr);
+    EXPECT_EQ(std::stoull(*rows_in), child_rows);
+    checked_join = true;
+  }
+  EXPECT_TRUE(checked_join);
+
+  // The root aggregates the execution: answers count must agree.
+  const obs::TraceSpan& root = trace.spans[0];
+  EXPECT_EQ(root.parent, 0u);
+  ASSERT_NE(Arg(root, "answers"), nullptr);
+  EXPECT_EQ(std::stoull(*Arg(root, "answers")), res->answers.size());
+  ASSERT_NE(Arg(root, "nodes_evaluated"), nullptr);
+  EXPECT_EQ(std::stoull(*Arg(root, "nodes_evaluated")),
+            res->nodes_evaluated);
+}
+
+TEST(EngineTraceTest, JoinOutputMatchesReferenceJoin) {
+  // Direct cross-check against tests/reference_ops.h: evaluate R(x) ⋈
+  // S(x,y) through a traced plan and compare the join span's rows_out with
+  // RefJoin on the scanned inputs.
+  Database db = RstDatabase();
+  auto q = Q("q(x,y) :- R(x), S(x,y)");
+  auto sk = SchemaKnowledge::FromSnapshot(q, db.snapshot());
+  ASSERT_TRUE(sk.ok());
+  auto plan = BuildSinglePlan(q, *sk, SinglePlanOptions{});
+  ASSERT_TRUE(plan.ok());
+
+  obs::TraceContext ctx;
+  uint32_t root = ctx.BeginSpan("evaluate", 0);
+  PlanEvaluator ev(db.snapshot(), q);
+  ev.SetTrace(&ctx, root);
+  auto rel = ev.Evaluate(*plan);
+  ASSERT_TRUE(rel.ok());
+  ctx.EndSpan(root);
+  obs::QueryTrace trace = ctx.Finish();
+
+  // Reference join of the two scan relations.
+  auto r_scan = ScanAtom(db.snapshot(), q, 0);
+  auto s_scan = ScanAtom(db.snapshot(), q, 1);
+  ASSERT_TRUE(r_scan.ok() && s_scan.ok());
+  const auto ref = RefJoin(ToRef(*r_scan), ToRef(*s_scan));
+
+  const obs::TraceSpan* join = FindSpan(trace, "join");
+  ASSERT_NE(join, nullptr);
+  ASSERT_NE(Arg(*join, "rows_out"), nullptr);
+  EXPECT_EQ(std::stoull(*Arg(*join, "rows_out")), ref.rows.size());
+  ASSERT_NE(Arg(*join, "rows_in"), nullptr);
+  EXPECT_EQ(std::stoull(*Arg(*join, "rows_in")),
+            ToRef(*r_scan).rows.size() + ToRef(*s_scan).rows.size());
+}
+
+TEST(EngineTraceTest, BalancedNestingUnderPooledParallelExecution) {
+  // Large-ish inputs + a 4-thread pool: executions run on pool threads and
+  // operators fan out morsels, yet every trace must stay a balanced tree.
+  Database db;
+  std::vector<std::pair<std::vector<int64_t>, double>> r_rows, s_rows;
+  for (int64_t i = 0; i < 3000; ++i) {
+    r_rows.push_back({{i}, 0.5});
+    s_rows.push_back({{i, i % 97}, 0.5});
+  }
+  AddTable(&db, "R", 1, r_rows);
+  AddTable(&db, "S", 2, s_rows);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto prepared = engine.Prepare("q(y) :- R(x), S(x,y)");
+  ASSERT_TRUE(prepared.ok());
+
+  std::vector<PreparedQuery> batch(8, *prepared);
+  std::vector<Bindings> bindings(8, Bindings().EnableTrace());
+  auto results = engine.ExecuteBatch(batch, bindings);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_NE(r->trace, nullptr);
+    ExpectBalanced(*r->trace);
+    EXPECT_NE(FindSpan(*r->trace, "evaluate"), nullptr);
+    EXPECT_NE(FindSpan(*r->trace, "rank"), nullptr);
+  }
+  EXPECT_EQ(engine.stats().traces_recorded, 8u);
+}
+
+TEST(EngineTraceTest, SampledTracingRecordsOneInN) {
+  Database db = RstDatabase();
+  EngineOptions opts;
+  opts.trace_sample_every = 2;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+  size_t with_trace = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto r = engine.Execute(*prepared);
+    ASSERT_TRUE(r.ok());
+    if (r->trace != nullptr) ++with_trace;
+  }
+  EXPECT_EQ(with_trace, 3u);
+  EXPECT_EQ(engine.stats().traces_recorded, 3u);
+}
+
+TEST(EngineTraceTest, SemiJoinSpanAndBloomStatsFlowIntoEngineStats) {
+  // Satellite: the reduction's Bloom counters used to be dropped per-call;
+  // they must now land in EngineStats and on the semijoin-reduce span.
+  SetSemiJoinBloomMinRowsForTesting(1);
+  Database db = RstDatabase();
+  EngineOptions opts;
+  opts.propagation.opt3_semijoin_reduction = true;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+  auto res = engine.Execute(*prepared, Bindings().EnableTrace());
+  SetSemiJoinBloomMinRowsForTesting(4096);  // restore the default
+  ASSERT_TRUE(res.ok());
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.semijoin_reductions, 1u);
+  EXPECT_GT(stats.bloom_filters_built, 0u);
+
+  ASSERT_NE(res->trace, nullptr);
+  const obs::TraceSpan* sj = FindSpan(*res->trace, "semijoin-reduce");
+  ASSERT_NE(sj, nullptr);
+  ASSERT_NE(Arg(*sj, "bloom_filters_built"), nullptr);
+  EXPECT_EQ(std::stoull(*Arg(*sj, "bloom_filters_built")),
+            stats.bloom_filters_built);
+}
+
+TEST(EngineTraceTest, PrometheusDumpCoversEngineSchedulerAndScans) {
+  Database db = RstDatabase();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+  auto results = engine.ExecuteBatch({*prepared, *prepared});
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  std::string text = engine.metrics().PrometheusText();
+  EXPECT_NE(text.find("dissodb_engine_queries 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("dissodb_engine_execute_ns_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dissodb_scheduler_tasks_executed"), std::string::npos);
+  EXPECT_NE(text.find("dissodb_scheduler_queue_wait_ns_query"),
+            std::string::npos);
+  EXPECT_NE(text.find("dissodb_scheduler_run_ns_query"), std::string::npos);
+
+  // Registry-homed EngineStats agree with the registry.
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.batch_queries, 2u);
+  EXPECT_GT(stats.tasks_executed, 0u);
+}
+
+TEST(EngineTraceTest, SchedulerQueueWaitHistogramsPopulate) {
+  Database db = RstDatabase();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  QueryEngine engine = QueryEngine::Borrow(db, opts);
+  auto prepared = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");
+  ASSERT_TRUE(prepared.ok());
+  auto results = engine.ExecuteBatch(
+      std::vector<PreparedQuery>(4, *prepared));
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  auto snap =
+      engine.metrics().histogram("scheduler.queue_wait_ns.query")->Snapshot();
+  EXPECT_EQ(snap.count, 4u);  // one queue task per batch execution
+  EXPECT_GE(snap.p99(), snap.p50());
+  auto run =
+      engine.metrics().histogram("scheduler.run_ns.query")->Snapshot();
+  EXPECT_EQ(run.count, 4u);
+  EXPECT_GT(run.sum, 0u);
+}
+
+}  // namespace
+}  // namespace dissodb
