@@ -94,9 +94,11 @@ int main() {
   EngineStats s = engine.stats();
   std::printf(
       "\nafter serving: version %llu, result cache %zu entries "
-      "(%zu version-stale swept on commit), oldest live snapshot v%llu\n",
+      "(%zu delta-maintained across append-only commits, %zu swept, "
+      "%zu version-stale evictions), oldest live snapshot v%llu\n",
       static_cast<unsigned long long>(db.version()),
-      s.result_cache_entries, s.result_cache_stale_evictions,
+      s.result_cache_entries, s.result_cache_delta_maintained,
+      s.result_cache_swept, s.result_cache_stale_evictions,
       static_cast<unsigned long long>(db.OldestLiveSnapshotVersion()));
   // Scheduler telemetry: queue-wait and run-time histograms per task class
   // ("query" = pooled executions), the raw data for tail-latency work.

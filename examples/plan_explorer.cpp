@@ -164,6 +164,9 @@ int main(int argc, char** argv) {
                 s.result_cache_hits, s.result_cache_misses,
                 s.result_cache_in_flight_waits, s.result_cache_evictions,
                 s.result_cache_stale_evictions, s.result_cache_entries);
+    std::printf("  commit pipeline:    %zu entries delta-maintained across "
+                "append-only commits, %zu swept\n",
+                s.result_cache_delta_maintained, s.result_cache_swept);
     std::printf("  opt3 reductions:    %zu cached, %zu computed\n",
                 s.reduction_cache_hits, s.reduction_cache_misses);
     std::printf("  scheduler tasks:    %zu\n", s.tasks_executed);

@@ -13,6 +13,7 @@
 #include "src/query/analysis.h"
 #include "src/query/canonicalize.h"
 #include "src/query/parser.h"
+#include "src/serve/delta_maintenance.h"
 
 namespace dissodb {
 
@@ -70,17 +71,23 @@ QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
       m_bloom_built_(metrics_.counter("semijoin.bloom_filters_built")),
       m_bloom_skipped_(metrics_.counter("semijoin.bloom_probes_skipped")),
       m_semijoin_reductions_(metrics_.counter("semijoin.reductions")),
-      m_execute_ns_(metrics_.histogram("engine.execute_ns")) {
+      m_delta_maintained_(
+          metrics_.counter("engine.result_cache.delta_maintained")),
+      m_swept_(metrics_.counter("engine.result_cache.swept")),
+      m_execute_ns_(metrics_.histogram("engine.execute_ns")),
+      m_commit_append_ns_per_row_(
+          metrics_.histogram("commit.append_ns_per_row")) {
   if (opts_.result_cache_capacity > 0) {
     result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
   }
   if (opts_.result_cache_capacity > 0 || opts_.reduction_cache_capacity > 0) {
-    // Sweep version-stale entries (results and Opt. 3 reductions) on every
-    // commit: anything older than the oldest live snapshot can never be
-    // requested again. Registering is const-safe — observing commits
-    // mutates no data.
+    // On every commit: record commit telemetry, roll hot cache entries
+    // forward across append-only commits, and sweep version-stale entries
+    // (results and Opt. 3 reductions) — anything older than the oldest
+    // live snapshot can never be requested again. Registering is
+    // const-safe — observing commits mutates no data.
     commit_hook_token_ = db_->RegisterCommitHook(
-        [this](uint64_t) { SweepStaleResults(); });
+        [this](const CommitInfo& info) { OnCommit(info); });
   }
 }
 
@@ -90,10 +97,55 @@ QueryEngine::~QueryEngine() {
   }
 }
 
+void QueryEngine::OnCommit(const CommitInfo& info) {
+  if (info.append_only && info.appended_rows > 0) {
+    m_commit_append_ns_per_row_->Record(info.commit_ns / info.appended_rows);
+  }
+  if (info.append_only && opts_.delta_maintain_results &&
+      opts_.delta_maintain_limit > 0 && result_cache_ != nullptr) {
+    MaintainCacheEntries(info);
+  }
+  SweepStaleResults();
+}
+
+void QueryEngine::MaintainCacheEntries(const CommitInfo& info) {
+  // The deltas describe exactly the step (info.version - 1) -> info.version
+  // (writers serialize), so only entries stored at the pre-commit version
+  // are one delta behind. If another writer already published past us
+  // (hooks run outside the writer lock), skip: rolling forward with this
+  // commit's deltas alone would miss the newer one's rows.
+  Snapshot snap = db_->snapshot();
+  if (snap.version() != info.version) return;
+  auto candidates = result_cache_->CollectMaintainable(
+      info.version - 1, opts_.delta_maintain_limit);
+  if (candidates.empty()) return;
+  std::unordered_map<std::string, size_t> first_new;
+  for (const AppendOnlyDelta& d : info.deltas) {
+    first_new.emplace(d.name, d.first_new_row);
+  }
+  Scheduler* scheduler = EnsureScheduler();
+  size_t maintained = 0;
+  for (auto& c : candidates) {
+    auto m = DeltaMaintainEntry(snap, std::move(c.rel), std::move(c.recipe),
+                                first_new, scheduler);
+    // Not maintainable for this commit (role flip, several changed scans):
+    // leave the entry to the ordinary sweep below.
+    if (!m.ok()) continue;
+    result_cache_->Put(c.key, info.version, std::move(m->rel),
+                       std::move(m->recipe));
+    ++maintained;
+  }
+  if (maintained > 0) {
+    result_cache_->NoteDeltaMaintained(maintained);
+    m_delta_maintained_->Add(maintained);
+  }
+}
+
 void QueryEngine::SweepStaleResults() {
   const uint64_t min_live = db_->OldestLiveSnapshotVersion();
   if (result_cache_ != nullptr) {
-    result_cache_->EvictOlderThan(min_live);
+    const size_t swept = result_cache_->EvictOlderThan(min_live);
+    if (swept > 0) m_swept_->Add(swept);
   }
   // The Opt. 3 reduction cache is version-keyed too: reductions of dead
   // versions are unhittable (their fingerprint embeds the version) and
@@ -411,6 +463,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
       }
       if (use_result_cache && result_cache_) {
         ev.SetResultCache(result_cache_.get(), version);
+        ev.EnableDeltaRecipes(opts_.delta_maintain_results);
       }
       ev.SetScheduler(scheduler);
       if (trace != nullptr) ev.SetTrace(trace, eval_span.id());
@@ -690,6 +743,8 @@ EngineStats QueryEngine::stats() const {
     s.result_cache_in_flight_waits = rc.in_flight_waits;
     s.result_cache_evictions = rc.evictions;
     s.result_cache_stale_evictions = rc.stale_evictions;
+    s.result_cache_delta_maintained = rc.delta_maintained;
+    s.result_cache_swept = m_swept_->Value();
     s.result_cache_entries = rc.entries;
   }
   {

@@ -86,6 +86,16 @@ struct EngineOptions {
   /// Max cached Opt. 3 semi-join reductions, keyed by (executed query,
   /// database version, binding tags); 0 disables reduction reuse.
   size_t reduction_cache_capacity = 64;
+  /// Delta-maintain hot result-cache entries across append-only commits:
+  /// instead of sweeping an entry the commit made stale, re-evaluate its
+  /// subplan over just the appended rows and republish the merged relation
+  /// at the new version (bit-identical to a from-scratch evaluation; see
+  /// src/serve/delta_maintenance.h). Non-append commits and unsupported
+  /// plan shapes fall back to the ordinary sweep.
+  bool delta_maintain_results = true;
+  /// Max entries rolled forward per commit, hottest (most recently used)
+  /// first; the rest fall to the sweep.
+  size_t delta_maintain_limit = 64;
   /// Canonicalize variable ids at Prepare time so isomorphic queries share
   /// plans and cached results. Off = legacy behavior (plans compiled in
   /// the caller's variable space); used by differential tests and the
@@ -125,6 +135,12 @@ struct EngineStats {
   /// Entries swept at commit time because their version is older than the
   /// oldest live snapshot (no execution can ever request them again).
   size_t result_cache_stale_evictions = 0;
+  /// Entries rolled forward to the new version by delta maintenance after
+  /// an append-only commit (served as hits instead of recomputed).
+  size_t result_cache_delta_maintained = 0;
+  /// Entries dropped by the commit-time sweep (same count the
+  /// engine.result_cache.swept counter exports).
+  size_t result_cache_swept = 0;
   size_t result_cache_entries = 0;
   size_t reduction_cache_hits = 0;    ///< Opt. 3 reductions served cached
   size_t reduction_cache_misses = 0;  ///< Opt. 3 reductions computed
@@ -296,8 +312,17 @@ class QueryEngine {
       const std::unordered_map<int, const Table*>& overrides,
       SemiJoinStats* stats);
 
-  /// Commit-hook body: sweeps result-cache entries below the oldest live
-  /// snapshot version (they can never be requested again).
+  /// Commit-hook body: records commit telemetry, delta-maintains hot
+  /// result-cache entries across append-only commits, then sweeps entries
+  /// below the oldest live snapshot version.
+  void OnCommit(const CommitInfo& info);
+
+  /// Rolls hot recipe-carrying result-cache entries forward from the
+  /// pre-commit version to `info.version` (append-only commits only).
+  void MaintainCacheEntries(const CommitInfo& info);
+
+  /// Sweeps result-cache entries below the oldest live snapshot version
+  /// (they can never be requested again).
   void SweepStaleResults();
 
   /// Starts the thread pool on first use.
@@ -359,7 +384,10 @@ class QueryEngine {
   obs::Counter* m_bloom_built_;
   obs::Counter* m_bloom_skipped_;
   obs::Counter* m_semijoin_reductions_;
+  obs::Counter* m_delta_maintained_;
+  obs::Counter* m_swept_;
   obs::Histogram* m_execute_ns_;
+  obs::Histogram* m_commit_append_ns_per_row_;
   /// Round-robin tick for EngineOptions.trace_sample_every.
   std::atomic<uint64_t> trace_tick_{0};
   /// Declared last on purpose: destroyed first, so the pool joins (running

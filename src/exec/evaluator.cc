@@ -2,6 +2,7 @@
 
 #include "src/common/simd.h"
 #include "src/exec/operators.h"
+#include "src/serve/delta_maintenance.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/scheduler.h"
 
@@ -147,6 +148,16 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::EvaluateUncached(
   }
   ++nodes_evaluated_;
 
+  // Attach a maintenance recipe when this evaluation will publish a cache
+  // entry (we lead), runs against a pinned snapshot, touches no overridden
+  // atoms, and the root has a maintainable shape. Decided up front so the
+  // projection branch can capture its raw accumulators.
+  const bool want_recipe = delta_recipes_ && !lead.resolved &&
+                           live_db_ == nullptr &&
+                           (PlanAtomSet(plan) & override_atoms_) == 0 &&
+                           DeltaMaintainableShape(plan);
+  std::vector<double> recipe_acc;
+
   std::shared_ptr<const Rel> result;
   switch (plan->kind) {
     case PlanNode::Kind::kScan: {
@@ -199,8 +210,9 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::EvaluateUncached(
       // Virtual (dissociated) variables may appear in the node's head but
       // not in the materialized child; project onto what exists.
       VarMask keep = plan->head & (*child)->var_mask();
-      result = std::make_shared<const Rel>(
-          ProjectIndependent(**child, keep, scheduler_));
+      result = std::make_shared<const Rel>(ProjectIndependent(
+          **child, keep, scheduler_,
+          want_recipe && keep != 0 ? &recipe_acc : nullptr));
       break;
     }
     case PlanNode::Kind::kJoin: {
@@ -262,11 +274,55 @@ Result<std::shared_ptr<const Rel>> PlanEvaluator::EvaluateUncached(
     }
   }
   if (!lead.resolved) {
-    result_cache_->Complete(shared_key, db_version_, result);
+    std::shared_ptr<const DeltaRecipe> recipe;
+    if (want_recipe) {
+      recipe = BuildDeltaRecipe(plan, result, std::move(recipe_acc));
+    }
+    result_cache_->Complete(shared_key, db_version_, result,
+                            std::move(recipe));
     lead.resolved = true;
   }
   cache_.emplace(plan.get(), result);
   return result;
+}
+
+std::shared_ptr<const DeltaRecipe> PlanEvaluator::BuildDeltaRecipe(
+    const PlanPtr& plan, const std::shared_ptr<const Rel>& rel,
+    std::vector<double>&& acc) {
+  // The root's scan inputs in child order (shape pre-checked by
+  // DeltaMaintainableShape).
+  std::vector<const PlanNode*> scans;
+  if (plan->kind == PlanNode::Kind::kProject) {
+    // Boolean projections are excluded: their fused accumulator has no
+    // resumable per-group fold (acc stayed empty).
+    if (rel->arity() == 0) return nullptr;
+    const PlanPtr& c = plan->children[0];
+    if (c->kind == PlanNode::Kind::kScan) {
+      scans = {c.get()};
+    } else {
+      scans = {c->children[0].get(), c->children[1].get()};
+    }
+  } else {
+    scans = {plan->children[0].get(), plan->children[1].get()};
+  }
+
+  auto recipe = std::make_shared<DeltaRecipe>();
+  recipe->plan = plan;
+  recipe->query = std::make_shared<const ConjunctiveQuery>(q_);
+  recipe->child_rows.reserve(scans.size());
+  for (const PlanNode* s : scans) {
+    // Every child was just evaluated, so its relation is in the
+    // node-identity memo; its size re-derives the greedy build/probe pick.
+    auto it = cache_.find(s);
+    if (it == cache_.end()) return nullptr;
+    recipe->child_rows.push_back(it->second->NumRows());
+  }
+  if (plan->kind == PlanNode::Kind::kProject) {
+    if (acc.size() != rel->NumRows()) return nullptr;
+    recipe->project_acc =
+        std::make_shared<const std::vector<double>>(std::move(acc));
+  }
+  return recipe;
 }
 
 namespace {

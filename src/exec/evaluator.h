@@ -27,8 +27,9 @@
 
 namespace dissodb {
 
-class ResultCache;  // src/serve/result_cache.h
-class Scheduler;    // src/serve/scheduler.h
+struct DeltaRecipe;  // src/serve/delta_maintenance.h
+class ResultCache;   // src/serve/result_cache.h
+class Scheduler;     // src/serve/scheduler.h
 
 /// One per-atom table override. An empty `tag` means the table's content is
 /// not identified by anything stable, so subplans touching the atom must
@@ -93,6 +94,14 @@ class PlanEvaluator {
   /// out as morsels. Results are bit-identical with or without it.
   void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
 
+  /// When enabled (and a result cache is attached), entries this evaluator
+  /// publishes for maintainable root shapes — project(scan),
+  /// project(join(scan, scan)), join(scan, scan), snapshot-bound, no
+  /// overridden atoms, non-boolean projections — carry a DeltaRecipe so
+  /// the serving layer can roll them forward across append-only commits
+  /// (see src/serve/delta_maintenance.h).
+  void EnableDeltaRecipes(bool on) { delta_recipes_ = on; }
+
   /// Attaches a trace context: every Evaluate call opens one span (named
   /// by node kind, scans by relation) under `parent`, annotated with row
   /// counts, chunk-pruning deltas, cache interactions, and the SIMD path.
@@ -133,6 +142,16 @@ class PlanEvaluator {
   /// Span label for `plan` ("scan R", "join", "project", "min").
   std::string NodeLabel(const PlanPtr& plan) const;
 
+  /// Builds the maintenance recipe for `plan` (a maintainable shape whose
+  /// result `rel` this evaluator just computed): captures a copy of the
+  /// executed query, the scan-input sizes from the node-identity memo,
+  /// and — for projections — the raw per-group accumulators `acc`.
+  /// Returns null when the node turns out non-maintainable (boolean
+  /// projection, missing memo entries).
+  std::shared_ptr<const DeltaRecipe> BuildDeltaRecipe(
+      const PlanPtr& plan, const std::shared_ptr<const Rel>& rel,
+      std::vector<double>&& acc);
+
   /// Exactly one of these identifies the catalog: a pinned snapshot
   /// (serving path) or a live database (legacy shim).
   Snapshot snap_;
@@ -148,6 +167,7 @@ class PlanEvaluator {
   ChunkedScanStats scan_stats_;
   ResultCache* result_cache_ = nullptr;
   uint64_t db_version_ = 0;
+  bool delta_recipes_ = false;
   Scheduler* scheduler_ = nullptr;
   obs::TraceContext* trace_ = nullptr;
   uint32_t trace_parent_ = 0;  ///< parent for the next span Evaluate opens

@@ -273,8 +273,8 @@ Result<Rel> ScanAtomResolved(const Table* table, const ConjunctiveQuery& q,
     cols.push_back(std::make_shared<Column>(
         Column::Gathered(*table->col(first_pos[i]), sel, scheduler)));
   }
-  auto scores = std::make_shared<std::vector<double>>(
-      GatherDoubles(*table->weights(), sel, scheduler));
+  auto scores = std::make_shared<WeightColumn>(
+      WeightColumn::Gathered(*table->weights(), sel, scheduler));
   return Rel::FromColumns(std::move(vars), std::move(cols), std::move(scores),
                           sel.size());
 }
@@ -301,6 +301,81 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
     table = *t;
   }
   return ScanAtomResolved(table, q, atom_idx, scheduler, stats);
+}
+
+Result<Rel> ScanAtomTail(const Snapshot& snap, const ConjunctiveQuery& q,
+                         int atom_idx, size_t begin_row,
+                         Scheduler* scheduler) {
+  auto t = snap.GetTable(q.atom(atom_idx).relation);
+  if (!t.ok()) return t.status();
+  const Table* table = *t;
+  const Atom& atom = q.atom(atom_idx);
+  if (table->arity() != atom.arity()) {
+    return Status::InvalidArgument("atom " + atom.relation +
+                                   " arity mismatch with table");
+  }
+  const size_t n = table->NumRows();
+  if (begin_row > n) {
+    return Status::InvalidArgument("delta scan begins past table " +
+                                   atom.relation);
+  }
+  std::vector<VarId> vars = MaskToVars(q.AtomMask(atom_idx));
+  AtomBinding binding = BindAtom(atom);
+  std::vector<int> first_pos(vars.size(), -1);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    first_pos[i] = binding.first_pos_of_var[vars[i]];
+  }
+  const std::vector<AtomEqCheck>& checks = binding.checks;
+
+  // Selection = the ascending full-scan selection restricted to the
+  // appended suffix; only chunks overlapping [begin_row, n) are touched.
+  std::vector<uint32_t> sel;
+  if (checks.empty()) {
+    sel.resize(n - begin_row);
+    for (size_t r = begin_row; r < n; ++r) {
+      sel[r - begin_row] = static_cast<uint32_t>(r);
+    }
+  } else if (begin_row < n) {
+    const Column& layout = *table->col(checks[0].pos);
+    const size_t cap = layout.chunk_capacity();
+    const size_t num_chunks = layout.num_chunks();
+    for (size_t ci = begin_row / cap; ci < num_chunks; ++ci) {
+      // Same zone-map pruning as the full scan (pruning never changes the
+      // selection, it only skips chunks that cannot match).
+      bool pruned = false;
+      for (const auto& check : checks) {
+        if (check.other_pos >= 0) continue;
+        const Column& col = *table->col(check.pos);
+        if (!col.uniform()) continue;
+        if (check.constant.type() != col.type()) {
+          pruned = true;
+          break;
+        }
+        const uint64_t cbits = check.constant.RawBits();
+        if (cbits < col.ChunkMinBits(ci) || cbits > col.ChunkMaxBits(ci)) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      std::vector<uint32_t> chunk_sel;
+      FilterChunk(*table, checks, ci, &chunk_sel);
+      for (uint32_t r : chunk_sel) {
+        if (r >= begin_row) sel.push_back(r);
+      }
+    }
+  }
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    cols.push_back(std::make_shared<Column>(
+        Column::Gathered(*table->col(first_pos[i]), sel, scheduler)));
+  }
+  auto scores = std::make_shared<WeightColumn>(
+      WeightColumn::Gathered(*table->weights(), sel, scheduler));
+  return Rel::FromColumns(std::move(vars), std::move(cols), std::move(scores),
+                          sel.size());
 }
 
 namespace {
@@ -398,9 +473,13 @@ JoinBuildIndex BuildJoinIndex(std::span<const uint64_t> bh,
 }  // namespace
 
 Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
-  const Rel& build = left.NumRows() <= right.NumRows() ? left : right;
-  const Rel& probe = left.NumRows() <= right.NumRows() ? right : left;
+  const bool build_left = left.NumRows() <= right.NumRows();
+  return HashJoinBuildProbe(build_left ? left : right,
+                            build_left ? right : left, scheduler);
+}
 
+Rel HashJoinBuildProbe(const Rel& build, const Rel& probe,
+                       Scheduler* scheduler) {
   VarMask shared = build.var_mask() & probe.var_mask();
   std::vector<int> build_key, probe_key;
   for (VarId v : MaskToVars(shared)) {
@@ -530,19 +609,19 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler) {
     cols[i] = std::make_shared<Column>(
         Column::Gathered(src, bc >= 0 ? build_sel : probe_sel, scheduler));
   };
-  auto scores = std::make_shared<std::vector<double>>();
+  auto scores = std::make_shared<WeightColumn>();
   auto fill_scores = [&] {
     const size_t out_n = build_sel.size();
-    scores->reserve(out_n);
-    const auto& bw = *build.weights();
-    const auto& pw = *probe.weights();
+    scores->Reserve(out_n);
+    const WeightColumn::View bw = build.weights()->view();
+    const WeightColumn::View pw = probe.weights()->view();
     constexpr size_t kScoreLookahead = 16;
     for (size_t i = 0; i < out_n; ++i) {
       if (i + kScoreLookahead < out_n) {
-        __builtin_prefetch(&bw[build_sel[i + kScoreLookahead]], 0, 1);
-        __builtin_prefetch(&pw[probe_sel[i + kScoreLookahead]], 0, 1);
+        bw.PrefetchAt(build_sel[i + kScoreLookahead]);
+        pw.PrefetchAt(probe_sel[i + kScoreLookahead]);
       }
-      scores->push_back(bw[build_sel[i]] * pw[probe_sel[i]]);
+      scores->Append(bw[build_sel[i]] * pw[probe_sel[i]]);
     }
   };
   if (scheduler != nullptr && build_sel.size() >= 2 * kMorselRows &&
@@ -584,7 +663,7 @@ void GroupRowsImpl(const Rel& in, std::span<const int> key_pos,
   group_rep->reserve(group_rep->size() + nr);
   group_next.reserve(nr);
   acc->reserve(acc->size() + nr);
-  const auto& w = *in.weights();
+  const WeightColumn::View w = in.weights()->view();
   // Fixed-distance lookahead: the index exceeds L2 for large groupings and
   // every HeadFor lands on a random slot, so fetch the slot a few rows
   // early. (Pure overlap; does not change which slot any row claims.)
@@ -645,7 +724,8 @@ void GroupAllRows(const Rel& in, std::span<const int> key_pos,
 /// exactly.
 template <typename Init, typename Update, typename Finalize>
 Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
-                Init init, Update update, Finalize finalize) {
+                Init init, Update update, Finalize finalize,
+                std::vector<double>* raw_acc_out = nullptr) {
   assert((keep_mask & ~in.var_mask()) == 0);
   std::vector<VarId> keep_vars = MaskToVars(keep_mask);
   std::vector<int> key_pos;
@@ -699,11 +779,12 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
     cols.push_back(std::make_shared<Column>(
         Column::Gathered(*in.col(c), group_rep, scheduler)));
   }
+  if (raw_acc_out != nullptr) *raw_acc_out = acc;
   // Per-group score rewrite applied on the raw fold vector; doing it here
   // (instead of per-row through the Rel accessors) avoids a copy-on-write
   // check per call on outputs with millions of groups.
   for (double& a : acc) a = finalize(a);
-  auto scores = std::make_shared<std::vector<double>>(std::move(acc));
+  auto scores = std::make_shared<WeightColumn>(acc);
   return Rel::FromColumns(std::move(keep_vars), std::move(cols),
                           std::move(scores), group_rep.size());
 }
@@ -714,7 +795,7 @@ Rel ProjectImpl(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
 /// accumulator; below it the scalar fold is already a handful of cycles.
 constexpr size_t kFusedMinRows = 256;
 
-/// Fused Boolean-projection accumulator: returns 1 - prod_k (1 - p[k]).
+/// Fused Boolean-projection accumulator: returns 1 - prod_k (1 - w[k]).
 ///
 /// Four complement-product lanes, checked every kFlushCheck elements and
 /// drained into log space before they can underflow to zero. Lane
@@ -723,8 +804,15 @@ constexpr size_t kFusedMinRows = 256;
 /// all fixed and data-independent, so the score is bit-identical run to
 /// run; versus the scalar sequential fold it differs by reassociation
 /// only (ULP-bounded; the differential test pins the tolerance).
+///
+/// Iterates the weight column chunk span by chunk span. Every sealed chunk
+/// holds a multiple of 4 elements (power-of-two capacity; the caller gates
+/// on capacity % 4 == 0), so the vector loop never straddles a seam, the
+/// global lane assignment (k mod 4) is preserved across chunks, and only
+/// the final chunk can leave a scalar tail — the exact op sequence of a
+/// single flat pass.
 __attribute__((target("avx2"))) double FusedComplementScoreAvx2(
-    const double* p, size_t n) {
+    const WeightColumn& w) {
   const __m256d one = _mm256_set1_pd(1.0);
   __m256d prod = one;
   double log_acc = 0.0;
@@ -732,27 +820,33 @@ __attribute__((target("avx2"))) double FusedComplementScoreAvx2(
   constexpr size_t kFlushCheck = 512;
   constexpr double kTiny = 1e-128;
   size_t next_check = kFlushCheck;
-  size_t k = 0;
+  size_t k = 0;  // global element index
   alignas(32) double lanes[4];
-  for (; k + 4 <= n; k += 4) {
-    prod = _mm256_mul_pd(prod, _mm256_sub_pd(one, _mm256_loadu_pd(p + k)));
-    if (k + 4 >= next_check) {
-      next_check += kFlushCheck;
-      _mm256_store_pd(lanes, prod);
-      if (lanes[0] < kTiny || lanes[1] < kTiny || lanes[2] < kTiny ||
-          lanes[3] < kTiny) {
-        // Factors are complements of probabilities, so lanes are
-        // non-negative and log() is defined; log(0) folds through exp()
-        // below to the same certain-truth score the scalar path reaches.
-        for (double l : lanes) log_acc += std::log(l);
-        prod = one;
-        flushed = true;
+  std::span<const double> tail;  // last chunk's sub-vector remainder
+  for (size_t ci = 0; ci < w.num_chunks(); ++ci) {
+    const std::span<const double> p = w.ChunkVals(ci);
+    size_t j = 0;
+    for (; j + 4 <= p.size(); j += 4, k += 4) {
+      prod = _mm256_mul_pd(prod, _mm256_sub_pd(one, _mm256_loadu_pd(p.data() + j)));
+      if (k + 4 >= next_check) {
+        next_check += kFlushCheck;
+        _mm256_store_pd(lanes, prod);
+        if (lanes[0] < kTiny || lanes[1] < kTiny || lanes[2] < kTiny ||
+            lanes[3] < kTiny) {
+          // Factors are complements of probabilities, so lanes are
+          // non-negative and log() is defined; log(0) folds through exp()
+          // below to the same certain-truth score the scalar path reaches.
+          for (double l : lanes) log_acc += std::log(l);
+          prod = one;
+          flushed = true;
+        }
       }
     }
+    if (j < p.size()) tail = p.subspan(j);  // last chunk only
   }
   _mm256_store_pd(lanes, prod);
   double rest = (lanes[0] * lanes[1]) * (lanes[2] * lanes[3]);
-  for (; k < n; ++k) rest *= 1.0 - p[k];
+  for (double v : tail) rest *= 1.0 - v;
   if (!flushed) return 1.0 - rest;
   return 1.0 - std::exp(log_acc + std::log(rest));
 }
@@ -761,18 +855,19 @@ __attribute__((target("avx2"))) double FusedComplementScoreAvx2(
 
 }  // namespace
 
-Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
+Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler,
+                       std::vector<double>* raw_acc_out) {
   const size_t n = in.NumRows();
   if (keep_mask == 0 && n > 0) {
     // Boolean projection: every row folds into the single empty-tuple
     // group, so skip hashing and grouping entirely and accumulate the
-    // complement product directly over the score vector.
+    // complement product directly over the score column's chunk spans.
     const auto& w = *in.weights();
     double score = 0.0;
     bool fused = false;
 #if DISSODB_SIMD_COMPILED
-    if (n >= kFusedMinRows && simd::UseAvx2()) {
-      score = FusedComplementScoreAvx2(w.data(), n);
+    if (n >= kFusedMinRows && simd::UseAvx2() && w.chunk_capacity() % 4 == 0) {
+      score = FusedComplementScoreAvx2(w);
       fused = true;
     }
 #endif
@@ -783,7 +878,8 @@ Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
       for (size_t r = 1; r < n; ++r) acc *= 1.0 - w[r];
       score = 1.0 - acc;
     }
-    auto scores = std::make_shared<std::vector<double>>(1, score);
+    auto scores =
+        std::make_shared<WeightColumn>(std::vector<double>(1, score));
     return Rel::FromColumns({}, {}, std::move(scores), 1);
   }
 
@@ -792,7 +888,7 @@ Rel ProjectIndependent(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
   return ProjectImpl(
       in, keep_mask, scheduler, [](double s) { return 1.0 - s; },
       [](double acc, double s) { return acc * (1.0 - s); },
-      [](double acc) { return 1.0 - acc; });
+      [](double acc) { return 1.0 - acc; }, raw_acc_out);
 }
 
 Rel ProjectDistinct(const Rel& in, VarMask keep_mask, Scheduler* scheduler) {
@@ -825,7 +921,7 @@ Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
   for (size_t k = 0; k < inputs.size(); ++k) {
     const Rel& in = inputs[k];
     HashVector h = HashKeyColumns(in, identity);
-    const auto& w = *in.weights();
+    const WeightColumn::View w = in.weights()->view();
     for (size_t r = 0; r < in.NumRows(); ++r) {
       uint32_t& head = index.HeadFor(h[r]);
       uint32_t g = head;
@@ -883,7 +979,7 @@ Result<Rel> MinMerge(const std::vector<Rel>& inputs) {
     }
     cols.push_back(std::move(col));
   }
-  auto scores = std::make_shared<std::vector<double>>(std::move(best));
+  auto scores = std::make_shared<WeightColumn>(best);
   return Rel::FromColumns(inputs[0].vars(), std::move(cols), std::move(scores),
                           group_row.size());
 }

@@ -86,6 +86,16 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
                      Scheduler* scheduler = nullptr,
                      ChunkedScanStats* stats = nullptr);
 
+/// Delta scan: ScanAtom restricted to table rows >= `begin_row`. Applies
+/// the same constant / repeated-variable checks, so the emitted rows are
+/// exactly the suffix of the full scan's ascending selection that falls in
+/// the appended range — the semi-naive delta of an append-only commit.
+/// Cost is proportional to the chunks overlapping the appended rows, not
+/// the table.
+Result<Rel> ScanAtomTail(const Snapshot& snap, const ConjunctiveQuery& q,
+                         int atom_idx, size_t begin_row,
+                         Scheduler* scheduler = nullptr);
+
 /// Natural hash join; scores multiply.
 ///
 /// With a scheduler and a large enough input, the build side is partitioned
@@ -96,6 +106,14 @@ Result<Rel> ScanAtom(const Database& db, const ConjunctiveQuery& q,
 /// insertion order), so results are bit-identical either way.
 Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler = nullptr);
 
+/// HashJoin with the build/probe roles pinned by the caller instead of
+/// chosen by size. Delta maintenance joins a tiny appended probe delta
+/// against the unchanged build side; letting the size heuristic flip the
+/// roles would change the output row order and break bit-identity with the
+/// from-scratch join, which probes the full (old + delta) side.
+Rel HashJoinBuildProbe(const Rel& build, const Rel& probe,
+                       Scheduler* scheduler = nullptr);
+
 /// Projection with duplicate elimination onto `keep_mask` (must be a subset
 /// of the input variables); scores combine independently:
 /// s(group) = 1 - prod(1 - s_i).
@@ -104,8 +122,15 @@ Rel HashJoin(const Rel& left, const Rel& right, Scheduler* scheduler = nullptr);
 /// hash prefix and each partition is grouped independently; groups are then
 /// re-sorted by global first-occurrence row, reproducing the sequential
 /// group order and fold order bit-for-bit.
+///
+/// `raw_acc_out`, if given, receives the per-group complement products
+/// before finalization (acc_g = prod(1 - s_i)); delta maintenance stores
+/// them so appended rows can continue each group's sequential fold exactly
+/// where the from-scratch evaluation would. Only populated on the grouped
+/// path (keep_mask != 0 or empty input).
 Rel ProjectIndependent(const Rel& in, VarMask keep_mask,
-                       Scheduler* scheduler = nullptr);
+                       Scheduler* scheduler = nullptr,
+                       std::vector<double>* raw_acc_out = nullptr);
 
 /// Deterministic projection: distinct rows, scores forced to 1.
 Rel ProjectDistinct(const Rel& in, VarMask keep_mask,

@@ -15,13 +15,21 @@ Rel::Rel(std::vector<VarId> vars) : vars_(std::move(vars)) {
 }
 
 Rel Rel::FromColumns(std::vector<VarId> vars, std::vector<ColumnPtr> cols,
-                     std::shared_ptr<std::vector<double>> scores,
-                     size_t rows) {
+                     WeightsPtr scores, size_t rows) {
   Rel out(std::move(vars));
   assert(cols.size() == out.vars_.size());
   assert(scores && scores->size() == rows);
   out.AdoptImpl(std::move(cols), std::move(scores), rows);
   return out;
+}
+
+void Rel::AppendRows(const Rel& src) {
+  assert(src.mask_ == mask_);
+  const size_t n = src.NumRows();
+  if (n == 0) return;
+  std::vector<uint32_t> sel(n);
+  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+  GatherImpl(src, sel);
 }
 
 int Rel::ColIndex(VarId v) const {

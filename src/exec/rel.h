@@ -29,8 +29,7 @@ class Rel : public ColumnarRows {
   /// Zero-copy constructor: adopts existing columns (one per var, ascending
   /// var order) and a score column without copying payloads.
   static Rel FromColumns(std::vector<VarId> vars, std::vector<ColumnPtr> cols,
-                         std::shared_ptr<std::vector<double>> scores,
-                         size_t rows);
+                         WeightsPtr scores, size_t rows);
 
   const std::vector<VarId>& vars() const { return vars_; }
   VarMask var_mask() const { return mask_; }
@@ -41,7 +40,11 @@ class Rel : public ColumnarRows {
   }
 
   double Score(size_t r) const { return Weight(r); }
-  void SetScore(size_t r, double s) { (*MutableWeights())[r] = s; }
+  void SetScore(size_t r, double s) { MutableWeights()->Set(r, s); }
+
+  /// Appends every row of `src` (same variable set) to this relation.
+  /// Sealed chunks of this relation stay shared; cost is O(src rows).
+  void AppendRows(const Rel& src);
 
   /// Column position of variable `v`, or -1.
   int ColIndex(VarId v) const;

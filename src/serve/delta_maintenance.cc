@@ -1,0 +1,255 @@
+#include "src/serve/delta_maintenance.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "src/exec/hash_table.h"
+#include "src/exec/operators.h"
+#include "src/storage/columnar.h"
+
+namespace dissodb {
+
+namespace {
+
+bool IsTwoScanJoin(const PlanPtr& p) {
+  return p->kind == PlanNode::Kind::kJoin && p->children.size() == 2 &&
+         p->children[0]->kind == PlanNode::Kind::kScan &&
+         p->children[1]->kind == PlanNode::Kind::kScan;
+}
+
+}  // namespace
+
+bool DeltaMaintainableShape(const PlanPtr& plan) {
+  if (plan == nullptr) return false;
+  if (plan->kind == PlanNode::Kind::kJoin) return IsTwoScanJoin(plan);
+  if (plan->kind == PlanNode::Kind::kProject && plan->children.size() == 1) {
+    const PlanPtr& c = plan->children[0];
+    return c->kind == PlanNode::Kind::kScan || IsTwoScanJoin(c);
+  }
+  return false;
+}
+
+Result<MaintainedEntry> DeltaMaintainEntry(
+    const Snapshot& snap, std::shared_ptr<const Rel> old_rel,
+    std::shared_ptr<const DeltaRecipe> recipe,
+    const std::unordered_map<std::string, size_t>& first_new_row_by_name,
+    Scheduler* scheduler) {
+  if (old_rel == nullptr || recipe == nullptr || recipe->query == nullptr ||
+      !DeltaMaintainableShape(recipe->plan)) {
+    return Status::InvalidArgument("not a maintainable recipe");
+  }
+  const ConjunctiveQuery& q = *recipe->query;
+  const PlanPtr& plan = recipe->plan;
+
+  // The root's scan inputs in child order, and the two-scan join feeding
+  // the root when there is one.
+  const PlanNode* join = nullptr;
+  std::vector<PlanPtr> scans;
+  if (plan->kind == PlanNode::Kind::kProject) {
+    const PlanPtr& c = plan->children[0];
+    if (c->kind == PlanNode::Kind::kScan) {
+      scans = {c};
+    } else {
+      join = c.get();
+      scans = {c->children[0], c->children[1]};
+    }
+  } else {
+    join = plan.get();
+    scans = {plan->children[0], plan->children[1]};
+  }
+  if (recipe->child_rows.size() != scans.size()) {
+    return Status::InvalidArgument("recipe input sizes out of shape");
+  }
+
+  // Which scans read an appended table? Exactly one is maintainable; a
+  // self-join of the appended table is not (its delta is not a suffix of
+  // the join output).
+  int changed = -1;
+  size_t begin_row = 0;
+  for (size_t i = 0; i < scans.size(); ++i) {
+    const int atom_idx = scans[i]->atom_idx;
+    if (atom_idx < 0 || atom_idx >= q.num_atoms()) {
+      return Status::InvalidArgument("recipe scan atom out of range");
+    }
+    auto it = first_new_row_by_name.find(q.atom(atom_idx).relation);
+    if (it == first_new_row_by_name.end()) continue;
+    if (changed >= 0) {
+      return Status::Unimplemented("several scans read appended tables");
+    }
+    changed = static_cast<int>(i);
+    begin_row = it->second;
+  }
+  if (changed < 0) {
+    // No scanned table gained rows: the from-scratch result at the new
+    // version is the cached relation itself — republish as is.
+    return MaintainedEntry{std::move(old_rel), std::move(recipe)};
+  }
+
+  // Delta of the changed scan: exactly the appended suffix of the full
+  // scan's selection, in the full scan's row order.
+  auto dscan = ScanAtomTail(snap, q, scans[changed]->atom_idx, begin_row,
+                            scheduler);
+  if (!dscan.ok()) return dscan.status();
+  const size_t scan_delta_rows = dscan->NumRows();
+
+  std::vector<size_t> new_child_rows = recipe->child_rows;
+  new_child_rows[changed] += scan_delta_rows;
+
+  // Delta of the root's input: the tail scan itself, or its join with the
+  // unchanged side.
+  Rel delta_in = std::move(*dscan);
+  if (join != nullptr) {
+    // The evaluator starts its greedy join order from the strictly
+    // smallest input (ties keep child 0) and HashJoin builds on it (it is
+    // never larger than the other side), probing the remaining input. The
+    // appended side must be that probe at both the old and the new sizes:
+    // then the from-scratch output is the old output plus the appended
+    // probe rows' pairs, in order, against an identical build index.
+    const size_t first_old =
+        (recipe->child_rows[1] < recipe->child_rows[0]) ? 1 : 0;
+    const size_t first_new = (new_child_rows[1] < new_child_rows[0]) ? 1 : 0;
+    if (changed == static_cast<int>(first_old) || first_new != first_old) {
+      return Status::Unimplemented("appended side is (or becomes) the build");
+    }
+    // The unchanged side rescans identically: its table gained no rows.
+    auto bscan = ScanAtom(snap, q, scans[first_old]->atom_idx,
+                          /*table=*/nullptr, scheduler);
+    if (!bscan.ok()) return bscan.status();
+    if (bscan->NumRows() != recipe->child_rows[first_old]) {
+      return Status::Internal("unchanged join input changed size");
+    }
+    delta_in = HashJoinBuildProbe(*bscan, delta_in, scheduler);
+  }
+
+  // ------------------------------------------------------------------
+  // kJoin root: the maintained relation is the old output plus the delta
+  // pairs, appended in probe order.
+  // ------------------------------------------------------------------
+  if (plan->kind == PlanNode::Kind::kJoin) {
+    if (delta_in.var_mask() != old_rel->var_mask()) {
+      return Status::Internal("join delta variables diverge from the entry");
+    }
+    auto merged = std::make_shared<Rel>(*old_rel);  // shallow; COW appends
+    merged->AppendRows(delta_in);
+    auto nr = std::make_shared<DeltaRecipe>(*recipe);
+    nr->child_rows = std::move(new_child_rows);
+    return MaintainedEntry{std::move(merged),
+                           std::shared_ptr<const DeltaRecipe>(std::move(nr))};
+  }
+
+  // ------------------------------------------------------------------
+  // kProject root: continue each group's complement-product fold over the
+  // delta rows. Group order is first occurrence, so old groups keep their
+  // positions and new groups append in delta first-occurrence order —
+  // exactly the from-scratch grouping over (old input ++ delta).
+  // ------------------------------------------------------------------
+  if (recipe->project_acc == nullptr ||
+      recipe->project_acc->size() != old_rel->NumRows() ||
+      old_rel->arity() == 0) {
+    return Status::InvalidArgument("projection recipe has no accumulators");
+  }
+  const size_t old_n = old_rel->NumRows();
+  const size_t dn = delta_in.NumRows();
+  if (dn == 0) {
+    // Appends were filtered out (or the delta joined to nothing): the
+    // result is unchanged, only the input sizes moved.
+    auto nr = std::make_shared<DeltaRecipe>(*recipe);
+    nr->child_rows = std::move(new_child_rows);
+    return MaintainedEntry{std::move(old_rel),
+                           std::shared_ptr<const DeltaRecipe>(std::move(nr))};
+  }
+
+  // Key columns: the cached relation's columns are exactly the kept
+  // variables (identity positions); map them into the delta input.
+  const int arity = old_rel->arity();
+  std::vector<int> identity(arity);
+  std::vector<int> dkey(arity);
+  for (int i = 0; i < arity; ++i) {
+    identity[i] = i;
+    dkey[i] = delta_in.ColIndex(old_rel->vars()[i]);
+    if (dkey[i] < 0) {
+      return Status::Internal("projection delta lacks a kept variable");
+    }
+  }
+  // Key hashes are a function of (type, payload bits) only, so hashing the
+  // old groups and the delta rows separately puts equal keys in one chain.
+  HashVector oh = HashKeyColumns(*old_rel, identity, scheduler);
+  HashVector dh = HashKeyColumns(delta_in, dkey, scheduler);
+
+  // Group ids: [0, old_n) are the cached groups, >= old_n are new groups
+  // represented by their first delta row.
+  FlatHashIndex index(old_n + dn);
+  std::vector<uint32_t> next;
+  next.reserve(old_n + dn);
+  for (size_t g = 0; g < old_n; ++g) {
+    uint32_t& head = index.HeadFor(oh[g]);
+    next.push_back(head);
+    head = static_cast<uint32_t>(g);
+  }
+
+  std::vector<double> new_acc(*recipe->project_acc);
+  new_acc.reserve(old_n + dn);
+  std::vector<uint32_t> new_rep;  // delta row representing each new group
+  std::vector<bool> touched(old_n, false);
+  const WeightColumn& dw = *delta_in.weights();
+  for (size_t r = 0; r < dn; ++r) {
+    uint32_t& head = index.HeadFor(dh[r]);
+    uint32_t g = head;
+    while (g != FlatHashIndex::kNil) {
+      const bool eq =
+          g < old_n
+              ? KeysEqual(delta_in, r, dkey, *old_rel, g, identity)
+              : KeysEqual(delta_in, r, dkey, delta_in, new_rep[g - old_n],
+                          dkey);
+      if (eq) break;
+      g = next[g];
+    }
+    if (g == FlatHashIndex::kNil) {
+      g = static_cast<uint32_t>(old_n + new_rep.size());
+      next.push_back(head);
+      head = g;
+      new_rep.push_back(static_cast<uint32_t>(r));
+      new_acc.push_back(1.0 - dw[r]);  // the fold's init on the first row
+    } else {
+      // Continue the fold with the identical multiply the from-scratch
+      // sequential scan would apply next.
+      new_acc[g] *= 1.0 - dw[r];
+      if (g < old_n) touched[g] = true;
+    }
+  }
+
+  // Assemble: shallow copy of the cached relation; refinalize touched
+  // groups (untouched ones keep their exact old score — same accumulator,
+  // same 1 - acc); append the new groups.
+  auto merged = std::make_shared<Rel>(*old_rel);
+  for (size_t g = 0; g < old_n; ++g) {
+    if (touched[g]) merged->SetScore(g, 1.0 - new_acc[g]);
+  }
+  if (!new_rep.empty()) {
+    std::vector<ColumnPtr> cols;
+    cols.reserve(arity);
+    for (int c : dkey) {
+      cols.push_back(std::make_shared<Column>(
+          Column::Gathered(*delta_in.col(c), new_rep, scheduler)));
+    }
+    std::vector<double> fin(new_rep.size());
+    for (size_t i = 0; i < new_rep.size(); ++i) {
+      fin[i] = 1.0 - new_acc[old_n + i];
+    }
+    auto scores = std::make_shared<WeightColumn>(fin);
+    Rel adds = Rel::FromColumns(old_rel->vars(), std::move(cols),
+                                std::move(scores), new_rep.size());
+    merged->AppendRows(adds);
+  }
+
+  auto nr = std::make_shared<DeltaRecipe>();
+  nr->plan = recipe->plan;
+  nr->query = recipe->query;
+  nr->project_acc =
+      std::make_shared<const std::vector<double>>(std::move(new_acc));
+  nr->child_rows = std::move(new_child_rows);
+  return MaintainedEntry{std::move(merged),
+                         std::shared_ptr<const DeltaRecipe>(std::move(nr))};
+}
+
+}  // namespace dissodb

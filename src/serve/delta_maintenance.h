@@ -1,0 +1,108 @@
+// Semi-naive delta maintenance of cached subplan results across
+// append-only commits.
+//
+// An append-only commit leaves every pre-existing row of every table
+// byte-identical and only adds rows at the end (CommitInfo::append_only).
+// For a cached relation whose plan reads exactly one appended table
+// through exactly one scan, the from-scratch result at the new version is
+// the old result plus the contribution of the appended rows — so instead
+// of sweeping the entry and recomputing it from the full table, the
+// serving layer re-evaluates the plan with the changed scan restricted to
+// the appended suffix (ScanAtomTail) and merges the delta into the cached
+// relation. Cost is proportional to the delta, not the table.
+//
+// Bit-identity is the contract, not approximate equality: a maintained
+// entry must equal the from-scratch evaluation at the new version bit for
+// bit, because cached results are shared across queries and compared
+// against pinned-snapshot replays. Two properties make this achievable:
+//
+//  - Join deltas: the from-scratch join probes the grown side against the
+//    unchanged build side, and its probe-major output for the unchanged
+//    probe prefix is exactly the old output. Re-joining only the appended
+//    probe rows with the build/probe roles pinned (HashJoinBuildProbe)
+//    yields exactly the missing suffix. Maintenance therefore requires
+//    the appended side to be the probe at both the old and the new sizes
+//    under the evaluator's greedy pick; role flips fall back to sweeping.
+//
+//  - Projection scores: s(group) = 1 - prod(1 - s_i) folded sequentially
+//    in row order. The recipe stores each group's raw complement product
+//    acc_g = prod(1 - s_i) (before the 1 - acc finalization), so appended
+//    rows continue the fold with the identical multiply sequence the
+//    from-scratch evaluation would execute. Untouched groups keep their
+//    exact old score; touched groups finalize the continued fold. (A
+//    log-space merge of finalized scores would NOT be bit-identical —
+//    floating-point reassociation — which is why the raw accumulators are
+//    stored.)
+//
+// Supported root shapes (everything else falls back to the commit sweep):
+//   project(scan), project(join(scan, scan)), join(scan, scan)
+// with no atom-table overrides and, for projections, at least one kept
+// variable (the fused boolean accumulator folds in SIMD lanes whose state
+// is not resumable row-by-row).
+#ifndef DISSODB_SERVE_DELTA_MAINTENANCE_H_
+#define DISSODB_SERVE_DELTA_MAINTENANCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/rel.h"
+#include "src/plan/plan.h"
+#include "src/query/cq.h"
+#include "src/storage/snapshot.h"
+
+namespace dissodb {
+
+class Scheduler;  // src/serve/scheduler.h
+
+/// Everything needed to roll one cached relation forward across an
+/// append-only commit. Attached to ResultCache entries by the evaluator
+/// when it publishes a maintainable root shape.
+struct DeltaRecipe {
+  /// The subplan whose result the entry caches.
+  PlanPtr plan;
+  /// Own copy of the executed query (the evaluator's reference dies with
+  /// the execution): atom bindings resolve scans, constants drive filters.
+  std::shared_ptr<const ConjunctiveQuery> query;
+  /// Per-group complement products acc_g = prod(1 - s_i) *before* the
+  /// 1 - acc finalization, row-aligned with the cached relation. Null for
+  /// kJoin roots (joins carry no fold to continue).
+  std::shared_ptr<const std::vector<double>> project_acc;
+  /// Scan-output row counts of the root's scan inputs at evaluation time,
+  /// in child order (one entry for project-over-scan, two for joins).
+  /// Re-derives the evaluator's greedy build/probe pick at old and new
+  /// sizes without rescanning.
+  std::vector<size_t> child_rows;
+};
+
+/// True iff `plan` is one of the maintainable root shapes (structure only;
+/// overrides and the boolean-projection exclusion are checked by the
+/// evaluator at registration time).
+bool DeltaMaintainableShape(const PlanPtr& plan);
+
+/// A rolled-forward cache entry: the relation at the new version plus the
+/// recipe to roll it forward again (updated accumulators and input sizes).
+struct MaintainedEntry {
+  std::shared_ptr<const Rel> rel;
+  std::shared_ptr<const DeltaRecipe> recipe;
+};
+
+/// Rolls `old_rel` (cached at the pre-commit version) forward to `snap`
+/// (the post-commit state). `first_new_row_by_name` maps each table that
+/// gained rows to its pre-commit row count (CommitInfo::deltas). Returns
+/// the maintained entry — bit-identical to evaluating `recipe->plan` from
+/// scratch against `snap` — or an error when the entry is not maintainable
+/// for this commit (appends into the build side, role flips, several
+/// changed scans); the caller then leaves the entry to the ordinary sweep.
+Result<MaintainedEntry> DeltaMaintainEntry(
+    const Snapshot& snap, std::shared_ptr<const Rel> old_rel,
+    std::shared_ptr<const DeltaRecipe> recipe,
+    const std::unordered_map<std::string, size_t>& first_new_row_by_name,
+    Scheduler* scheduler = nullptr);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_SERVE_DELTA_MAINTENANCE_H_

@@ -18,17 +18,21 @@ std::shared_ptr<const Rel> ResultCache::Get(const std::string& key,
 }
 
 void ResultCache::PutLocked(const std::string& key, uint64_t db_version,
-                            std::shared_ptr<const Rel> rel) {
+                            std::shared_ptr<const Rel> rel,
+                            std::shared_ptr<const DeltaRecipe> recipe) {
   if (capacity_ == 0) return;
   const std::string vk = VersionedKey(key, db_version);
   auto it = map_.find(vk);
   if (it != map_.end()) {
     it->second.rel = std::move(rel);
+    it->second.recipe = std::move(recipe);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
   lru_.push_front(vk);
-  map_.emplace(vk, Entry{db_version, std::move(rel), lru_.begin()});
+  map_.emplace(vk,
+               Entry{db_version, std::move(rel), std::move(recipe),
+                     lru_.begin()});
   min_entry_version_ = std::min(min_entry_version_, db_version);
   if (map_.size() > capacity_) {
     map_.erase(lru_.back());
@@ -38,9 +42,10 @@ void ResultCache::PutLocked(const std::string& key, uint64_t db_version,
 }
 
 void ResultCache::Put(const std::string& key, uint64_t db_version,
-                      std::shared_ptr<const Rel> rel) {
+                      std::shared_ptr<const Rel> rel,
+                      std::shared_ptr<const DeltaRecipe> recipe) {
   std::lock_guard lock(mu_);
-  PutLocked(key, db_version, std::move(rel));
+  PutLocked(key, db_version, std::move(rel), std::move(recipe));
 }
 
 ResultCache::Ticket ResultCache::Acquire(const std::string& key,
@@ -77,13 +82,14 @@ ResultCache::Ticket ResultCache::Acquire(const std::string& key,
 }
 
 void ResultCache::Complete(const std::string& key, uint64_t db_version,
-                           std::shared_ptr<const Rel> rel) {
+                           std::shared_ptr<const Rel> rel,
+                           std::shared_ptr<const DeltaRecipe> recipe) {
   std::shared_ptr<InFlight> entry;
   {
     std::lock_guard lock(mu_);
     // Publish before retiring the in-flight entry: an Acquire that misses
     // the in-flight map must find the stored value.
-    PutLocked(key, db_version, rel);
+    PutLocked(key, db_version, rel, std::move(recipe));
     auto it = in_flight_.find(VersionedKey(key, db_version));
     if (it != in_flight_.end()) {
       entry = std::move(it->second);
@@ -140,6 +146,31 @@ void ResultCache::Clear() {
   // still finds (or tolerates missing) entries and waiters still wake.
 }
 
+std::vector<ResultCache::MaintainCandidate> ResultCache::CollectMaintainable(
+    uint64_t version, size_t limit) const {
+  std::vector<MaintainCandidate> out;
+  std::lock_guard lock(mu_);
+  // Walk the LRU list front-to-back so the hottest entries are maintained
+  // first when `limit` truncates the set.
+  for (const std::string& vk : lru_) {
+    if (out.size() >= limit) break;
+    auto it = map_.find(vk);
+    if (it == map_.end()) continue;
+    const Entry& e = it->second;
+    if (e.db_version != version || e.recipe == nullptr) continue;
+    // Recover the unversioned key: the '@<version>' suffix is appended
+    // last, so strip at the final '@' (keys may contain '@' internally).
+    const size_t at = vk.rfind('@');
+    out.push_back(MaintainCandidate{vk.substr(0, at), e.rel, e.recipe});
+  }
+  return out;
+}
+
+void ResultCache::NoteDeltaMaintained(size_t n) {
+  std::lock_guard lock(mu_);
+  delta_maintained_ += n;
+}
+
 ResultCacheStats ResultCache::stats() const {
   std::lock_guard lock(mu_);
   ResultCacheStats s;
@@ -148,6 +179,7 @@ ResultCacheStats ResultCache::stats() const {
   s.in_flight_waits = in_flight_waits_;
   s.evictions = evictions_;
   s.stale_evictions = stale_evictions_;
+  s.delta_maintained = delta_maintained_;
   s.entries = map_.size();
   return s;
 }

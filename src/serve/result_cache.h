@@ -29,10 +29,13 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/exec/rel.h"
 
 namespace dissodb {
+
+struct DeltaRecipe;  // src/serve/delta_maintenance.h
 
 struct ResultCacheStats {
   size_t hits = 0;
@@ -43,6 +46,9 @@ struct ResultCacheStats {
   /// versions no held snapshot can request anymore). Also counted in
   /// `evictions`.
   size_t stale_evictions = 0;
+  /// Entries republished at a newer version by delta maintenance instead
+  /// of being recomputed (see NoteDeltaMaintained).
+  size_t delta_maintained = 0;
   size_t entries = 0;
 };
 
@@ -69,18 +75,22 @@ class ResultCache {
   /// executions pinned to other snapshots).
   std::shared_ptr<const Rel> Get(const std::string& key, uint64_t db_version);
 
-  /// Inserts (or refreshes) `rel` for `key` at `db_version`.
+  /// Inserts (or refreshes) `rel` for `key` at `db_version`. An entry may
+  /// carry a DeltaRecipe — everything needed to roll the cached relation
+  /// forward across an append-only commit (see delta_maintenance.h).
   void Put(const std::string& key, uint64_t db_version,
-           std::shared_ptr<const Rel> rel);
+           std::shared_ptr<const Rel> rel,
+           std::shared_ptr<const DeltaRecipe> recipe = nullptr);
 
   /// Hit / lead / wait decision for one lookup (see Ticket). Leader tickets
   /// count as misses; waiter tickets count as in_flight_waits.
   Ticket Acquire(const std::string& key, uint64_t db_version);
 
-  /// Leader publication: stores `rel`, wakes every waiter with it, and
-  /// retires the in-flight entry.
+  /// Leader publication: stores `rel` (with its maintenance recipe, if
+  /// any), wakes every waiter with it, and retires the in-flight entry.
   void Complete(const std::string& key, uint64_t db_version,
-                std::shared_ptr<const Rel> rel);
+                std::shared_ptr<const Rel> rel,
+                std::shared_ptr<const DeltaRecipe> recipe = nullptr);
 
   /// Leader failure: wakes every waiter with nullptr (they compute
   /// locally) and retires the in-flight entry.
@@ -93,6 +103,23 @@ class ResultCache {
   /// the number of entries swept (also surfaced as stats().stale_evictions).
   size_t EvictOlderThan(uint64_t min_live_version);
 
+  /// One entry eligible for delta maintenance: computed at the requested
+  /// version and carrying a recipe.
+  struct MaintainCandidate {
+    std::string key;
+    std::shared_ptr<const Rel> rel;
+    std::shared_ptr<const DeltaRecipe> recipe;
+  };
+
+  /// Snapshots up to `limit` recipe-carrying entries stored at exactly
+  /// `version`, hottest (most recently used) first. The commit hook rolls
+  /// them forward to the new version and republishes via Put().
+  std::vector<MaintainCandidate> CollectMaintainable(uint64_t version,
+                                                     size_t limit) const;
+
+  /// Counts `n` entries as delta-maintained (stats().delta_maintained).
+  void NoteDeltaMaintained(size_t n);
+
   void Clear();
   ResultCacheStats stats() const;
   size_t capacity() const { return capacity_; }
@@ -101,6 +128,7 @@ class ResultCache {
   struct Entry {
     uint64_t db_version;
     std::shared_ptr<const Rel> rel;
+    std::shared_ptr<const DeltaRecipe> recipe;
     std::list<std::string>::iterator lru_pos;
   };
 
@@ -119,7 +147,8 @@ class ResultCache {
 
   /// Put() body; caller holds mu_.
   void PutLocked(const std::string& key, uint64_t db_version,
-                 std::shared_ptr<const Rel> rel);
+                 std::shared_ptr<const Rel> rel,
+                 std::shared_ptr<const DeltaRecipe> recipe);
 
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -135,6 +164,7 @@ class ResultCache {
   size_t in_flight_waits_ = 0;
   size_t evictions_ = 0;
   size_t stale_evictions_ = 0;
+  size_t delta_maintained_ = 0;
 };
 
 }  // namespace dissodb

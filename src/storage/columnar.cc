@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -412,10 +413,107 @@ void Column::HashCombineRange(size_t begin, std::span<uint64_t> out,
   }
 }
 
+WeightColumn::WeightColumn() {
+  const size_t cap = Column::default_chunk_capacity();
+  chunk_shift_ = ShiftFor(cap);
+  chunk_mask_ = cap - 1;
+}
+
+WeightColumn::WeightColumn(const std::vector<double>& init) : WeightColumn() {
+  const size_t n = init.size();
+  if (n == 0) return;
+  const size_t cap = chunk_capacity();
+  chunks_.resize((n + cap - 1) / cap);
+  for (size_t lo = 0; lo < n; lo += cap) {
+    const size_t take = std::min(cap, n - lo);
+    auto chunk = std::make_shared<Chunk>();
+    chunk->vals.resize(take);
+    std::memcpy(chunk->vals.data(), init.data() + lo, take * sizeof(double));
+    chunks_[lo / cap] = std::move(chunk);
+  }
+  size_ = n;
+  RebuildBases();
+}
+
+void WeightColumn::Reserve(size_t n) {
+  if (n <= size_ || chunks_.empty()) return;
+  ChunkPtr& tail = chunks_.back();
+  // Reserving is an optimization only: never detach a shared tail (the
+  // eventual append will), and a sealed tail has nothing to grow.
+  if (tail.use_count() > 1 || tail->vals.size() > chunk_mask_) return;
+  tail->vals.reserve(
+      std::min(chunk_capacity(), tail->vals.size() + (n - size_)));
+  SyncTailBase();
+}
+
+void WeightColumn::AppendGather(const WeightColumn& src,
+                                std::span<const uint32_t> idx) {
+  if (idx.empty()) return;
+  const uint32_t shift = src.chunk_shift_;
+  const uint64_t mask = src.chunk_mask_;
+  const double* const* bases = src.bases_.data();
+  size_t done = 0;
+  while (done < idx.size()) {
+    Chunk* tail = MutableTail();
+    const size_t take =
+        std::min(chunk_capacity() - tail->vals.size(), idx.size() - done);
+    const size_t old = tail->vals.size();
+    tail->vals.resize(old + take);
+    double* out = tail->vals.data() + old;
+    for (size_t k = 0; k < take; ++k) {
+      const uint32_t r = idx[done + k];
+      out[k] = bases[r >> shift][r & mask];
+    }
+    size_ += take;
+    done += take;
+    SyncTailBase();
+  }
+}
+
+WeightColumn WeightColumn::Gathered(const WeightColumn& src,
+                                    std::span<const uint32_t> sel,
+                                    Scheduler* scheduler) {
+  WeightColumn out;
+  const size_t n = sel.size();
+  if (n == 0) return out;
+  const size_t cap = out.chunk_capacity();
+  out.chunks_.resize((n + cap - 1) / cap);
+  out.size_ = n;
+  const uint32_t shift = src.chunk_shift_;
+  const uint64_t mask = src.chunk_mask_;
+  const double* const* bases = src.bases_.data();
+  auto fill = [&](size_t lo, size_t hi) {
+    // Chunk-aligned ranges: each task owns one disjoint output chunk.
+    auto chunk = std::make_shared<Chunk>();
+    chunk->vals.resize(hi - lo);
+    double* o = chunk->vals.data();
+    for (size_t k = lo; k < hi; ++k) {
+      const uint32_t r = sel[k];
+      o[k - lo] = bases[r >> shift][r & mask];
+    }
+    out.chunks_[lo / cap] = std::move(chunk);
+  };
+  if (scheduler != nullptr && n >= 2 * cap) {
+    scheduler->ParallelFor(0, n, cap, fill);
+  } else {
+    for (size_t lo = 0; lo < n; lo += cap) fill(lo, std::min(lo + cap, n));
+  }
+  out.RebuildBases();
+  return out;
+}
+
+void WeightColumn::Scale(double f) {
+  if (f == 1.0) return;
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    Chunk* c = MutableChunk(ci);
+    for (double& v : c->vals) v = std::clamp(v * f, 0.0, 1.0);
+  }
+}
+
 void ColumnarRows::AppendRowImpl(std::span<const Value> row, double w) {
   assert(row.size() == cols_.size());
   for (size_t c = 0; c < cols_.size(); ++c) MutableCol(&cols_[c])->Append(row[c]);
-  MutableWeights()->push_back(w);
+  MutableWeights()->Append(w);
   ++num_rows_;
 }
 
@@ -426,10 +524,7 @@ void ColumnarRows::GatherImpl(const ColumnarRows& src,
   for (size_t c = 0; c < cols_.size(); ++c) {
     MutableCol(&cols_[c])->AppendGather(*src.cols_[c], sel);
   }
-  auto* w = MutableWeights();
-  w->reserve(w->size() + sel.size());
-  const auto& sw = *src.weights_;
-  for (uint32_t k : sel) w->push_back(sw[k]);
+  MutableWeights()->AppendGather(*src.weights_, sel);
   num_rows_ += sel.size();
 }
 
@@ -467,22 +562,6 @@ HashVector HashKeyColumns(const ColumnarRows& rows,
       rows.col(c)->HashCombineInto(out, first);
       first = false;
     }
-  }
-  return out;
-}
-
-std::vector<double> GatherDoubles(const std::vector<double>& w,
-                                  std::span<const uint32_t> sel,
-                                  Scheduler* scheduler) {
-  std::vector<double> out(sel.size());
-  const size_t grain = Column::default_chunk_capacity();
-  auto fill = [&](size_t lo, size_t hi) {
-    for (size_t k = lo; k < hi; ++k) out[k] = w[sel[k]];
-  };
-  if (scheduler != nullptr && sel.size() >= 2 * grain) {
-    scheduler->ParallelFor(0, sel.size(), grain, fill);
-  } else {
-    fill(0, sel.size());
   }
   return out;
 }

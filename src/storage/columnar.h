@@ -276,13 +276,141 @@ class Column {
 
 using ColumnPtr = std::shared_ptr<Column>;
 
+/// \brief The weight column: tuple probabilities / plan scores, chunked
+/// exactly like payload columns.
+///
+/// Same physical contract as Column: fixed-capacity power-of-two chunks
+/// held by shared_ptr, sealed (full) chunks immutable and shared, only the
+/// tail chunk grows, mutation detaches the one chunk it writes. Copies are
+/// shallow (the chunk-pointer vector), so a Writer's staged append costs
+/// O(delta), not O(table) — the flat `vector<double>` this replaces made
+/// the first staged append deep-copy the entire column. Random access goes
+/// through a cached base-pointer table, so hot fold/probe loops pay one
+/// indexed load, exactly like Column::RawBits.
+class WeightColumn {
+ public:
+  struct Chunk {
+    std::vector<double, internal::DefaultInitAllocator<double>> vals;
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+
+  /// Captures Column::default_chunk_capacity() so the test shrink knob
+  /// exercises weight-chunk seams too.
+  WeightColumn();
+  /// Adopts a flat vector (fold outputs from projections / min-merge),
+  /// re-chunking it. O(n) memcpy, amortized by the producing pass.
+  explicit WeightColumn(const std::vector<double>& init);
+
+  size_t size() const { return size_; }
+  double operator[](size_t i) const {
+    return bases_[i >> chunk_shift_][i & chunk_mask_];
+  }
+  /// Prefetch companion of operator[]; see Column::PrefetchRaw.
+  void PrefetchAt(size_t i) const {
+    __builtin_prefetch(&bases_[i >> chunk_shift_][i & chunk_mask_], 0, 1);
+  }
+
+  /// Register-resident random-access view for hot loops. operator[] above
+  /// reloads the base-pointer table and chunk geometry from the column on
+  /// every call when the loop makes opaque calls in between (push_back,
+  /// hash-index growth); a View copies them into locals the compiler can
+  /// keep in registers. Invalidated by any mutation of the column.
+  struct View {
+    const double* const* bases;
+    uint32_t shift;
+    uint64_t mask;
+    double operator[](size_t i) const {
+      return bases[i >> shift][i & mask];
+    }
+    void PrefetchAt(size_t i) const {
+      __builtin_prefetch(&bases[i >> shift][i & mask], 0, 1);
+    }
+  };
+  View view() const { return View{bases_.data(), chunk_shift_, chunk_mask_}; }
+
+  // -- Chunk geometry (sharing tests, chunk-local SIMD spans) ---------------
+
+  size_t chunk_capacity() const { return chunk_mask_ + 1; }
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t ChunkBegin(size_t ci) const { return ci << chunk_shift_; }
+  const ChunkPtr& chunk(size_t ci) const { return chunks_[ci]; }
+  std::span<const double> ChunkVals(size_t ci) const {
+    return chunks_[ci]->vals;
+  }
+
+  // -- Mutation -------------------------------------------------------------
+
+  /// Pre-reserves tail-chunk capacity for growth up to `n` total elements.
+  /// Never detaches shared payloads (same contract as Column::Reserve).
+  void Reserve(size_t n);
+
+  void Append(double v) {
+    MutableTail()->vals.push_back(v);
+    ++size_;
+    SyncTailBase();
+  }
+
+  /// Point write; detaches only the chunk containing `i`.
+  void Set(size_t i, double v) {
+    MutableChunk(i >> chunk_shift_)->vals[i & chunk_mask_] = v;
+  }
+
+  /// Appends `src[idx[k]]` for every k.
+  void AppendGather(const WeightColumn& src, std::span<const uint32_t> idx);
+
+  /// Fresh column containing `src[sel[k]]`; parallel per-output-chunk fill
+  /// with a scheduler, bit-identical to sequential either way.
+  static WeightColumn Gathered(const WeightColumn& src,
+                               std::span<const uint32_t> sel,
+                               Scheduler* scheduler = nullptr);
+
+  /// `v = clamp(v * f, 0, 1)` for every element, detaching each chunk it
+  /// rewrites. No-op when `f == 1.0` (identity rescale must not copy).
+  void Scale(double f);
+
+ private:
+  Chunk* MutableTail() {
+    if (chunks_.empty() || chunks_.back()->vals.size() > chunk_mask_) {
+      chunks_.push_back(std::make_shared<Chunk>());
+    } else if (chunks_.back().use_count() > 1) {
+      chunks_.back() = std::make_shared<Chunk>(*chunks_.back());
+    }
+    return chunks_.back().get();
+  }
+  Chunk* MutableChunk(size_t ci) {
+    if (chunks_[ci].use_count() > 1) {
+      chunks_[ci] = std::make_shared<Chunk>(*chunks_[ci]);
+      bases_[ci] = chunks_[ci]->vals.data();
+    }
+    return chunks_[ci].get();
+  }
+  void SyncTailBase() {
+    bases_.resize(chunks_.size());
+    bases_.back() = chunks_.back()->vals.data();
+  }
+  void RebuildBases() {
+    bases_.resize(chunks_.size());
+    for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+      bases_[ci] = chunks_[ci]->vals.data();
+    }
+  }
+
+  size_t size_ = 0;
+  uint32_t chunk_shift_;
+  uint64_t chunk_mask_;
+  std::vector<ChunkPtr> chunks_;
+  std::vector<const double*> bases_;
+};
+
+using WeightsPtr = std::shared_ptr<WeightColumn>;
+
 /// \brief Shared base of Table and Rel: a set of columns plus a parallel
 /// weight column (tuple probability / plan score) and a single row counter.
 ///
 /// The explicit row counter makes zero-arity relations (Boolean queries)
 /// fall out of the same accounting as everything else. Copies are shallow:
 /// columns and weights are shared until a mutation triggers copy-on-write
-/// (and column mutation in turn detaches only the tail chunk it writes).
+/// (and column/weight mutation in turn detaches only the chunk it writes).
 class ColumnarRows {
  public:
   size_t NumRows() const { return num_rows_; }
@@ -292,9 +420,13 @@ class ColumnarRows {
   double Weight(size_t r) const { return (*weights_)[r]; }
 
   const ColumnPtr& col(int c) const { return cols_[c]; }
-  const std::shared_ptr<std::vector<double>>& weights() const {
-    return weights_;
-  }
+  const WeightsPtr& weights() const { return weights_; }
+
+  /// Monotone counter bumped by every in-place overwrite of existing row
+  /// values (SetProb / rescale). Appends leave it unchanged, so a Writer
+  /// can prove a staged table changed by appends alone: epoch unchanged
+  /// and row count non-decreasing (see Database::CommitInfo).
+  uint64_t overwrite_epoch() const { return overwrite_epoch_; }
 
   /// Reserves room for `rows` total rows. A reservation that asks for no
   /// growth is a strict no-op: it must not detach fully shared columns
@@ -302,11 +434,11 @@ class ColumnarRows {
   void Reserve(size_t rows) {
     if (rows <= num_rows_) return;
     for (auto& c : cols_) MutableCol(&c)->Reserve(rows);
-    MutableWeights()->reserve(rows);
+    MutableWeights()->Reserve(rows);
   }
 
  protected:
-  ColumnarRows() : weights_(std::make_shared<std::vector<double>>()) {}
+  ColumnarRows() : weights_(std::make_shared<WeightColumn>()) {}
 
   /// Installs `n` empty columns (untyped; adopt the first appended value).
   void InitCols(int n) {
@@ -317,8 +449,8 @@ class ColumnarRows {
   void AppendRowImpl(std::span<const Value> row, double w);
 
   /// Adopts existing columns/weights without copying (zero-copy wiring).
-  void AdoptImpl(std::vector<ColumnPtr> cols,
-                 std::shared_ptr<std::vector<double>> weights, size_t rows) {
+  void AdoptImpl(std::vector<ColumnPtr> cols, WeightsPtr weights,
+                 size_t rows) {
     cols_ = std::move(cols);
     weights_ = std::move(weights);
     num_rows_ = rows;
@@ -334,16 +466,21 @@ class ColumnarRows {
     return c->get();
   }
   Column* MutableCol(int c) { return MutableCol(&cols_[c]); }
-  std::vector<double>* MutableWeights() {
+  /// Detaching shared weights copies only the chunk-pointer vector; the
+  /// value chunks stay shared until the one being written detaches.
+  WeightColumn* MutableWeights() {
     if (weights_.use_count() > 1) {
-      weights_ = std::make_shared<std::vector<double>>(*weights_);
+      weights_ = std::make_shared<WeightColumn>(*weights_);
     }
     return weights_.get();
   }
 
+  void NoteOverwrite() { ++overwrite_epoch_; }
+
   std::vector<ColumnPtr> cols_;
-  std::shared_ptr<std::vector<double>> weights_;
+  WeightsPtr weights_;
   size_t num_rows_ = 0;
+  uint64_t overwrite_epoch_ = 0;
 };
 
 /// Hash of the key columns `key_cols` for every row of `rows` (batch,
@@ -354,12 +491,6 @@ class ColumnarRows {
 HashVector HashKeyColumns(const ColumnarRows& rows,
                           std::span<const int> key_cols,
                           Scheduler* scheduler = nullptr);
-
-/// `out[k] = w[sel[k]]` into a fresh vector; positional parallel writes
-/// with a scheduler. Weight-column companion of Column::Gathered.
-std::vector<double> GatherDoubles(const std::vector<double>& w,
-                                  std::span<const uint32_t> sel,
-                                  Scheduler* scheduler = nullptr);
 
 /// True iff row `ra` of `a` (at key columns `ka`) equals row `rb` of `b`
 /// (at key columns `kb`). `ka.size()` must equal `kb.size()`.

@@ -1,5 +1,6 @@
 #include "src/storage/database.h"
 
+#include <chrono>
 #include <utility>
 
 namespace dissodb {
@@ -73,6 +74,7 @@ Database::Writer::Writer(Writer&& o) noexcept
       lock_(std::move(o.lock_)),
       base_(std::move(o.base_)),
       staged_(std::move(o.staged_)),
+      staged_base_(std::move(o.staged_base_)),
       added_(std::move(o.added_)),
       added_by_name_(std::move(o.added_by_name_)) {}
 
@@ -108,6 +110,8 @@ Table* Database::Writer::mutable_table(int idx) {
     // Sealed chunks stay shared with every snapshot; the first append to a
     // column detaches only its tail chunk.
     it = staged_.emplace(idx, std::make_shared<Table>(base_.table(idx))).first;
+    staged_base_.emplace(
+        idx, StagedBase{it->second->NumRows(), it->second->overwrite_epoch()});
   }
   return it->second.get();
 }
@@ -119,6 +123,9 @@ Result<Table*> Database::Writer::GetTableForWrite(const std::string& name) {
 }
 
 void Database::Writer::ScaleProbabilities(double f) {
+  // Identity rescale: stage nothing — staging would COW-copy and republish
+  // every table only to multiply each probability by 1.
+  if (f == 1.0) return;
   for (int i = 0; i < NumTables(); ++i) {
     // Deterministic tables pin p = 1; don't stage (and republish) a copy
     // just to run a no-op.
@@ -150,21 +157,54 @@ int Database::Writer::FindTable(const std::string& name) const {
 
 uint64_t Database::Writer::Commit() {
   Database* db = std::exchange(db_, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Append-only detection: every staged table must have changed by row
+  // appends alone — overwrite epoch untouched (no SetProb / rescale) and
+  // row count non-decreasing. Newly added tables don't disqualify the
+  // commit (no earlier-cached plan can reference them) but contribute no
+  // delta. An empty commit (legacy mutable_table shim) is conservatively
+  // NOT append-only: the caller is about to mutate the live head outside
+  // any transaction, so caches must invalidate.
+  CommitInfo info;
+  info.append_only = !staged_.empty() || !added_.empty();
+  for (const auto& [idx, t] : staged_) {
+    const StagedBase& b = staged_base_.at(idx);
+    if (t->overwrite_epoch() != b.epoch || t->NumRows() < b.rows) {
+      info.append_only = false;
+      break;
+    }
+  }
+  if (info.append_only) {
+    for (const auto& [idx, t] : staged_) {
+      const StagedBase& b = staged_base_.at(idx);
+      if (t->NumRows() == b.rows) continue;
+      info.deltas.push_back(AppendOnlyDelta{idx, t->schema().name, b.rows,
+                                            t->NumRows() - b.rows});
+      info.appended_rows += t->NumRows() - b.rows;
+    }
+  }
   const uint64_t version = db->Publish(staged_, added_);
+  info.version = version;
   staged_.clear();
+  staged_base_.clear();
   added_.clear();
   added_by_name_.clear();
   // Drop the pinned base before hooks run: the writer must not count as a
   // live snapshot when the serving layer sweeps stale cache versions.
   base_ = Snapshot();
   lock_.unlock();  // let the next writer in before hooks run
-  db->RunCommitHooks(version);
+  info.commit_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  db->RunCommitHooks(info);
   return version;
 }
 
 void Database::Writer::Abort() {
   db_ = nullptr;
   staged_.clear();
+  staged_base_.clear();
   added_.clear();
   added_by_name_.clear();
   base_ = Snapshot();
@@ -217,13 +257,13 @@ void Database::UnregisterCommitHook(int token) const {
   }
 }
 
-void Database::RunCommitHooks(uint64_t version) const {
+void Database::RunCommitHooks(const CommitInfo& info) const {
   // Invoked under hooks_mu_ so UnregisterCommitHook is synchronizing:
   // once it returns, no hook invocation is in flight and the owner may be
   // destroyed. Hooks therefore must not (un)register hooks or commit to
   // this database themselves.
   std::lock_guard lock(hooks_mu_);
-  for (const auto& [token, hook] : hooks_) hook(version);
+  for (const auto& [token, hook] : hooks_) hook(info);
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,33 @@
 
 namespace dissodb {
 
+/// What one committed transaction did to one table, when the commit was
+/// append-only: rows [first_new_row, first_new_row + new_rows) are new,
+/// every older row is byte-identical to the previous version.
+struct AppendOnlyDelta {
+  int table_idx;
+  std::string name;
+  size_t first_new_row;
+  size_t new_rows;
+};
+
+/// Passed to commit hooks after every successful Commit(). `append_only`
+/// is true iff the transaction staged at least one table and every staged
+/// table changed by row appends alone (overwrite epoch unchanged, row
+/// count non-decreasing); `deltas` then lists the tables that gained rows.
+/// Newly added tables are excluded from `deltas` — no plan cached before
+/// this commit can reference them. The serving layer uses the deltas to
+/// delta-maintain cached results instead of sweeping them.
+struct CommitInfo {
+  uint64_t version = 0;
+  bool append_only = false;
+  std::vector<AppendOnlyDelta> deltas;
+  /// Wall time of stage-bookkeeping + atomic publish (not staging itself),
+  /// and the total rows appended — together the commit's ns/row.
+  uint64_t commit_ns = 0;
+  size_t appended_rows = 0;
+};
+
 /// \brief A tuple-independent probabilistic database: a catalog of tables
 /// with snapshot-isolated reads and transactional writes.
 class Database {
@@ -154,6 +181,13 @@ class Database {
     Snapshot base_;           // state pinned at BeginWrite
     /// Staged table copies by index; indexes >= base table count are new.
     std::unordered_map<int, std::shared_ptr<Table>> staged_;
+    /// Row count and overwrite epoch of each staged table at staging time,
+    /// so Commit() can prove which tables changed by appends alone.
+    struct StagedBase {
+      size_t rows;
+      uint64_t epoch;
+    };
+    std::unordered_map<int, StagedBase> staged_base_;
     std::vector<std::pair<std::string, std::shared_ptr<Table>>> added_;
     std::unordered_map<std::string, int> added_by_name_;
   };
@@ -163,13 +197,14 @@ class Database {
 
   /// Commit hooks run after every successful Commit() (and after each
   /// legacy mutation shim), outside the publish lock, with the committed
-  /// version. The serving layer uses them to sweep version-stale cache
-  /// entries. Returns a token for UnregisterCommitHook, which is
+  /// version and its append-only delta description (see CommitInfo). The
+  /// serving layer uses them to delta-maintain or sweep version-stale
+  /// cache entries. Returns a token for UnregisterCommitHook, which is
   /// synchronizing: once it returns, no invocation of the hook is in
   /// flight (hooks run under the hook lock — they must not (un)register
   /// hooks or open writers on this database). Const because observing
   /// commits does not mutate data.
-  using CommitHook = std::function<void(uint64_t committed_version)>;
+  using CommitHook = std::function<void(const CommitInfo&)>;
   int RegisterCommitHook(CommitHook hook) const;
   void UnregisterCommitHook(int token) const;
 
@@ -241,7 +276,7 @@ class Database {
       const std::unordered_map<int, std::shared_ptr<Table>>& staged,
       const std::vector<std::pair<std::string, std::shared_ptr<Table>>>& added);
 
-  void RunCommitHooks(uint64_t version) const;
+  void RunCommitHooks(const CommitInfo& info) const;
 
   /// Guards the live head (tables_, by_name_) and snapshot construction:
   /// every mutation of the live head happens under it, so snapshot() always

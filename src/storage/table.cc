@@ -37,8 +37,9 @@ Table Table::Select(std::span<const uint32_t> sel) const {
 }
 
 void Table::ScaleProbabilities(double f) {
-  if (schema_.deterministic) return;
-  for (auto& p : *MutableWeights()) p = std::clamp(p * f, 0.0, 1.0);
+  if (schema_.deterministic || f == 1.0 || NumRows() == 0) return;
+  MutableWeights()->Scale(f);
+  NoteOverwrite();
 }
 
 bool Table::SatisfiesFD(const FunctionalDependency& fd) const {

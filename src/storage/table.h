@@ -46,7 +46,8 @@ class Table : public ColumnarRows {
 
   double Prob(size_t row) const { return Weight(row); }
   void SetProb(size_t row, double p) {
-    (*MutableWeights())[row] = schema_.deterministic ? 1.0 : p;
+    MutableWeights()->Set(row, schema_.deterministic ? 1.0 : p);
+    NoteOverwrite();
   }
 
   /// Returns a table with the same schema containing rows where `pred` holds.

@@ -79,6 +79,54 @@ TEST(SnapshotTest, SnapshotIsCopyFreeAndSealedChunksStayShared) {
   EXPECT_EQ(db.table(0).NumRows(), 11u);
 }
 
+TEST(SnapshotTest, WeightColumnSharesSealedChunksAndDetachesOnlyTheTail) {
+  ChunkCapOverride cap(4);
+  Database db;
+  Table t(RelationSchema::AllInt64("R", 1));
+  // 1/16 steps are exact in binary floating point, so the equality
+  // assertions below compare identical bit patterns.
+  for (int i = 0; i < 10; ++i) t.AddRow({I(i)}, 0.0625 * i);  // chunks: 4+4+2
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+
+  Snapshot snap = db.snapshot();
+  ASSERT_EQ(snap.table(0).weights()->num_chunks(), 3u);
+  // Acquisition copied no weights: every chunk handle is shared.
+  for (size_t ci = 0; ci < 3; ++ci) {
+    EXPECT_EQ(snap.table(0).weights()->chunk(ci),
+              db.table(0).weights()->chunk(ci));
+  }
+
+  {
+    Database::Writer w = db.BeginWrite();
+    w.AppendRow(0, std::vector<Value>{I(99)}, 0.5);
+    w.Commit();
+  }
+
+  // The append detached only the tail weight chunk; sealed chunks stay
+  // shared with the pinned snapshot — commit cost tracks the delta, not
+  // the weight column.
+  const WeightColumn& after = *db.table(0).weights();
+  ASSERT_EQ(after.num_chunks(), 3u);
+  EXPECT_EQ(snap.table(0).weights()->chunk(0), after.chunk(0));
+  EXPECT_EQ(snap.table(0).weights()->chunk(1), after.chunk(1));
+  EXPECT_NE(snap.table(0).weights()->chunk(2), after.chunk(2));
+  EXPECT_EQ((*snap.table(0).weights())[9], 0.5625);
+  EXPECT_EQ(after[10], 0.5);
+
+  // An overwrite (per-chunk copy-on-write) detaches exactly the chunk it
+  // hits, sealed or not.
+  {
+    Database::Writer w = db.BeginWrite();
+    w.mutable_table(0)->SetProb(0, 0.25);
+    w.Commit();
+  }
+  const WeightColumn& scaled = *db.table(0).weights();
+  EXPECT_NE(snap.table(0).weights()->chunk(0), scaled.chunk(0));
+  EXPECT_EQ(snap.table(0).weights()->chunk(1), scaled.chunk(1));
+  EXPECT_EQ((*snap.table(0).weights())[0], 0.0);
+  EXPECT_EQ(scaled[0], 0.25);
+}
+
 TEST(SnapshotTest, WriterStagingIsInvisibleUntilCommit) {
   Database db;
   AddTable(&db, "R", 1, {{{1}, 0.5}});
@@ -202,25 +250,42 @@ TEST(SnapshotTest, OldestLiveSnapshotVersionTracksHeldStates) {
 TEST(SnapshotTest, CommitHooksFireOnEveryCommitIncludingLegacyShims) {
   Database db;
   int fired = 0;
-  uint64_t last_version = 0;
-  int token = db.RegisterCommitHook([&](uint64_t v) {
+  CommitInfo last;
+  int token = db.RegisterCommitHook([&](const CommitInfo& info) {
     ++fired;
-    last_version = v;
+    last = info;
   });
   AddTable(&db, "R", 1, {{{1}, 0.5}});  // legacy shim commits
   EXPECT_EQ(fired, 1);
-  EXPECT_EQ(last_version, db.version());
+  EXPECT_EQ(last.version, db.version());
+  // Adding a table is append-only (no pre-existing row changed) but
+  // contributes no delta: no earlier plan can reference the new table.
+  EXPECT_TRUE(last.append_only);
+  EXPECT_TRUE(last.deltas.empty());
   {
     Database::Writer w = db.BeginWrite();
     w.AppendRow(0, std::vector<Value>{I(2)}, 0.5);
     w.Commit();
   }
   EXPECT_EQ(fired, 2);
+  ASSERT_TRUE(last.append_only);
+  ASSERT_EQ(last.deltas.size(), 1u);
+  EXPECT_EQ(last.deltas[0].name, "R");
+  EXPECT_EQ(last.deltas[0].first_new_row, 1u);
+  EXPECT_EQ(last.deltas[0].new_rows, 1u);
+  EXPECT_EQ(last.appended_rows, 1u);
   (void)db.mutable_table(0);  // deprecated shim opens-commits a writer
   EXPECT_EQ(fired, 3);
+  // The empty commit guards the raw-pointer escape hatch: the caller is
+  // about to mutate the live head untracked, so caches must invalidate.
+  EXPECT_FALSE(last.append_only);
+  // Overwrites (SetProb via ScaleProbabilities) are not append-only.
+  db.ScaleProbabilities(0.5);
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(last.append_only);
   db.UnregisterCommitHook(token);
   db.ScaleProbabilities(0.5);
-  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fired, 4);
 }
 
 TEST(SnapshotTest, PinnedSnapshotQueryResultsAreBitIdenticalAcrossCommits) {
