@@ -29,6 +29,16 @@ int main(int argc, char** argv) {
                                                         : "no (#P-hard)");
 
   SchemaKnowledge none = SchemaKnowledge::None(*q);
+  lift::SafetyAnalysis safety = lift::AnalyzeSafety(*q, none);
+  if (safety.safe) {
+    std::printf("lifted route:  exact safe plan (Dalvi-Suciu rules; no "
+                "dissociation, no plan enumeration)\n");
+  } else {
+    std::printf("lifted route:  dissociation (%zu unsafe residue%s; "
+                "hierarchical subqueries still compile exactly)\n",
+                safety.unsafe_residues,
+                safety.unsafe_residues == 1 ? "" : "s");
+  }
   auto atoms = MakeWorkAtoms(*q, none);
   auto cuts = MinCuts(atoms, q->EVarMask());
   if (cuts.ok()) {
@@ -181,6 +191,18 @@ int main(int argc, char** argv) {
                 s.semijoin_reductions, s.bloom_filters_built,
                 s.bloom_probes_skipped);
     std::printf("  traces recorded:    %zu\n", s.traces_recorded);
+    std::printf("  safe-plan router:   %zu exact-routed, %zu with unsafe "
+                "residues, %zu legacy fallbacks\n",
+                s.safe_plan_routed, s.safe_plan_unsafe_residue,
+                s.safe_plan_fallback);
+    auto compile =
+        engine.metrics().histogram("engine.safe_plan.compile_ns")->Snapshot();
+    if (compile.count > 0) {
+      std::printf("  lifted compiles:    p50=%.0fns max=%lluns over %llu "
+                  "compiles\n",
+                  compile.p50(), static_cast<unsigned long long>(compile.max),
+                  static_cast<unsigned long long>(compile.count));
+    }
     auto lat = engine.metrics().histogram("engine.execute_ns")->Snapshot();
     std::printf("  execute latency:    p50=%.0fns p95=%.0fns p99=%.0fns "
                 "max=%lluns over %llu executions\n",

@@ -10,6 +10,7 @@
 #include "src/dissociation/single_plan.h"
 #include "src/exec/evaluator.h"
 #include "src/exec/semijoin.h"
+#include "src/lift/safe_plan.h"
 #include "src/query/analysis.h"
 #include "src/query/canonicalize.h"
 #include "src/query/parser.h"
@@ -21,13 +22,15 @@ namespace {
 
 /// Cache key: canonical query rendering plus the flags that change the
 /// compiled artifact.
-std::string CacheKey(const ConjunctiveQuery& q, const PropagationOptions& o) {
+std::string CacheKey(const ConjunctiveQuery& q, const PropagationOptions& o,
+                     bool safe_plan_fast_path) {
   std::string key = q.ToString();
   key += '|';
   key += o.opt1_single_plan ? '1' : '0';
   key += o.opt2_reuse_subplans ? '1' : '0';
   key += o.enum_opts.use_deterministic ? '1' : '0';
   key += o.enum_opts.use_fds ? '1' : '0';
+  key += safe_plan_fast_path ? '1' : '0';
   return key;
 }
 
@@ -74,9 +77,13 @@ QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
       m_delta_maintained_(
           metrics_.counter("engine.result_cache.delta_maintained")),
       m_swept_(metrics_.counter("engine.result_cache.swept")),
+      m_safe_routed_(metrics_.counter("engine.safe_plan.routed")),
+      m_safe_residue_(metrics_.counter("engine.safe_plan.unsafe_residue")),
+      m_safe_fallback_(metrics_.counter("engine.safe_plan.fallback")),
       m_execute_ns_(metrics_.histogram("engine.execute_ns")),
       m_commit_append_ns_per_row_(
-          metrics_.histogram("commit.append_ns_per_row")) {
+          metrics_.histogram("commit.append_ns_per_row")),
+      m_safe_compile_ns_(metrics_.histogram("engine.safe_plan.compile_ns")) {
   if (opts_.result_cache_capacity > 0) {
     result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
   }
@@ -205,7 +212,8 @@ Result<PreparedQuery> QueryEngine::Prepare(const ConjunctiveQuery& q) {
     impl->canon = std::move(id);
   }
   impl->share_results = !HasUnknownStringConstants(impl->canon.query);
-  impl->cache_key = CacheKey(impl->canon.query, opts_.propagation);
+  impl->cache_key = CacheKey(impl->canon.query, opts_.propagation,
+                             opts_.safe_plan_fast_path);
 
   bool cache_hit = false;
   bool renamed_hit = false;
@@ -247,19 +255,57 @@ Result<std::shared_ptr<const CompiledPlans>> QueryEngine::GetOrCompile(
   if (!sk.ok()) return sk.status();
 
   auto compiled = std::make_shared<CompiledPlans>();
-  {
-    auto plans = EnumerateMinimalPlans(q, *sk, opts_.propagation.enum_opts);
-    if (!plans.ok()) return plans.status();
-    compiled->num_minimal_plans = plans->size();
-    if (!opts_.propagation.opt1_single_plan) compiled->plans = std::move(*plans);
-  }
-  if (opts_.propagation.opt1_single_plan) {
-    SinglePlanOptions sp;
-    sp.reuse_common_subplans = opts_.propagation.opt2_reuse_subplans;
-    sp.enum_opts = opts_.propagation.enum_opts;
-    auto plan = BuildSinglePlan(q, *sk, sp);
-    if (!plan.ok()) return plan.status();
-    compiled->single_plan = std::move(*plan);
+  if (opts_.safe_plan_fast_path && opts_.propagation.opt1_single_plan) {
+    // Lifted fast path (src/lift/): one recursive pass of the Dalvi–Suciu
+    // rules. A safe query resolves every level by independent join /
+    // independent project and skips both the cut-set scan and the minimal-
+    // plan enumeration — the safe plan is the unique minimal plan and its
+    // score is exact. Unsafe residues fall back to Min-over-cuts inside the
+    // same pass, emitting a plan bit-identical to BuildSinglePlan's; the
+    // enumeration then still runs once to report num_minimal_plans (and can
+    // upgrade the verdict to exact when it finds a single plan).
+    lift::LiftOptions lo;
+    lo.reuse_common_subplans = opts_.propagation.opt2_reuse_subplans;
+    lo.enum_opts = opts_.propagation.enum_opts;
+    const uint64_t t0 = obs::NowNanos();
+    auto lifted = lift::CompileSafePlan(q, *sk, lo);
+    m_safe_compile_ns_->Record(obs::NowNanos() - t0);
+    if (!lifted.ok()) return lifted.status();
+    compiled->single_plan = std::move(lifted->plan);
+    compiled->safe_routed = true;
+    compiled->unsafe_residues = lifted->unsafe_residues;
+    if (lifted->exact) {
+      compiled->exact = true;
+      compiled->num_minimal_plans = 1;
+      m_safe_routed_->Add(1);
+    } else {
+      m_safe_residue_->Add(1);
+      auto plans = EnumerateMinimalPlans(q, *sk, opts_.propagation.enum_opts);
+      if (!plans.ok()) return plans.status();
+      compiled->num_minimal_plans = plans->size();
+      compiled->exact = plans->size() == 1;
+    }
+  } else {
+    m_safe_fallback_->Add(1);
+    {
+      auto plans = EnumerateMinimalPlans(q, *sk, opts_.propagation.enum_opts);
+      if (!plans.ok()) return plans.status();
+      compiled->num_minimal_plans = plans->size();
+      if (!opts_.propagation.opt1_single_plan) {
+        compiled->plans = std::move(*plans);
+      }
+    }
+    // A single minimal plan means the query is safe given the knowledge
+    // (Corollary 28): the verdict is route-independent.
+    compiled->exact = compiled->num_minimal_plans == 1;
+    if (opts_.propagation.opt1_single_plan) {
+      SinglePlanOptions sp;
+      sp.reuse_common_subplans = opts_.propagation.opt2_reuse_subplans;
+      sp.enum_opts = opts_.propagation.enum_opts;
+      auto plan = BuildSinglePlan(q, *sk, sp);
+      if (!plan.ok()) return plan.status();
+      compiled->single_plan = std::move(*plan);
+    }
   }
 
   m_plan_misses_->Add(1);
@@ -451,6 +497,7 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
   QueryResult result;
   result.num_minimal_plans = impl.compiled->num_minimal_plans;
   result.from_plan_cache = impl.from_plan_cache;
+  result.exact = impl.compiled->exact;
 
   Rel scores(std::vector<VarId>{});
   ChunkedScanStats scan_stats;
@@ -528,6 +575,8 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
                        static_cast<uint64_t>(result.result_cache_hits));
     trace_ctx.Annotate(root, "from_plan_cache",
                        std::string(result.from_plan_cache ? "yes" : "no"));
+    trace_ctx.Annotate(root, "safe_plan",
+                       std::string(result.exact ? "exact" : "dissociated"));
     trace_ctx.EndSpan(root);
     result.trace =
         std::make_shared<const obs::QueryTrace>(trace_ctx.Finish());
@@ -761,6 +810,9 @@ EngineStats QueryEngine::stats() const {
   s.bloom_filters_built = m_bloom_built_->Value();
   s.bloom_probes_skipped = m_bloom_skipped_->Value();
   s.traces_recorded = m_traces_->Value();
+  s.safe_plan_routed = m_safe_routed_->Value();
+  s.safe_plan_unsafe_residue = m_safe_residue_->Value();
+  s.safe_plan_fallback = m_safe_fallback_->Value();
   return s;
 }
 

@@ -96,6 +96,16 @@ struct EngineOptions {
   /// Max entries rolled forward per commit, hottest (most recently used)
   /// first; the rest fall to the sweep.
   size_t delta_maintain_limit = 64;
+  /// Route Prepare through the lifted safe-plan compiler (src/lift/): the
+  /// Dalvi–Suciu rules (independent join, independent project, base atom)
+  /// compile hierarchical queries — and hierarchical subqueries of unsafe
+  /// ones — directly, reserving cut-set enumeration for genuinely unsafe
+  /// residues. Safe queries skip minimal-plan enumeration entirely and
+  /// their results are flagged exact. Emitted plans are bit-identical to
+  /// the legacy pipeline's on every query, so scores, plan fingerprints,
+  /// and caches are unaffected; off = legacy compilation (differential
+  /// mode for tests and benches).
+  bool safe_plan_fast_path = true;
   /// Canonicalize variable ids at Prepare time so isomorphic queries share
   /// plans and cached results. Off = legacy behavior (plans compiled in
   /// the caller's variable space); used by differential tests and the
@@ -155,6 +165,16 @@ struct EngineStats {
   size_t bloom_probes_skipped = 0;
   /// Executions that recorded a span tree (sampling or per-query opt-in).
   size_t traces_recorded = 0;
+  /// Compiles the lifted analyzer resolved exactly (safe query: enumeration
+  /// skipped, results exact).
+  size_t safe_plan_routed = 0;
+  /// Lifted compiles that hit >= 1 unsafe residue (dissociation reserved
+  /// for the residues; scores are upper bounds unless enumeration still
+  /// finds a single minimal plan).
+  size_t safe_plan_unsafe_residue = 0;
+  /// Compiles that bypassed the lifted compiler (fast path disabled or
+  /// opt1_single_plan off).
+  size_t safe_plan_fallback = 0;
 };
 
 struct QueryResult {
@@ -168,6 +188,10 @@ struct QueryResult {
   size_t result_cache_hits = 0;
   /// Whether the compiled plan came from the engine's cache.
   bool from_plan_cache = false;
+  /// True iff the scores are exact probabilities — the query is safe given
+  /// the schema knowledge (Corollary 28), so the safe plan's score *is*
+  /// P(q = a). False means dissociation upper bounds.
+  bool exact = false;
   /// Span tree of this execution; non-null iff the execution was traced
   /// (EngineOptions.trace_sample_every or Bindings::EnableTrace). Export
   /// with ToText() / ToChromeJson() (Perfetto-loadable).
@@ -386,8 +410,12 @@ class QueryEngine {
   obs::Counter* m_semijoin_reductions_;
   obs::Counter* m_delta_maintained_;
   obs::Counter* m_swept_;
+  obs::Counter* m_safe_routed_;
+  obs::Counter* m_safe_residue_;
+  obs::Counter* m_safe_fallback_;
   obs::Histogram* m_execute_ns_;
   obs::Histogram* m_commit_append_ns_per_row_;
+  obs::Histogram* m_safe_compile_ns_;
   /// Round-robin tick for EngineOptions.trace_sample_every.
   std::atomic<uint64_t> trace_tick_{0};
   /// Declared last on purpose: destroyed first, so the pool joins (running

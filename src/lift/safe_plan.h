@@ -1,0 +1,82 @@
+// Lifted safe-plan compiler and safety analyzer (Dalvi–Suciu dichotomy).
+//
+// Hierarchical queries have exact PTIME extensional plans (Theorem 2): the
+// classic lifted rules — independent join (connected components),
+// independent project (separator variables), base atom — compile them
+// directly, with no cut-set enumeration and no plan lattice. This module
+// implements that recursion over work atoms, generalized with the paper's
+// Section 3.3 schema knowledge (deterministic relations, FD chase), and
+// extends it to *unsafe* queries: the rules are applied as far as they
+// reach (hierarchical subqueries compile exactly), and only the genuinely
+// unsafe residues fall back to dissociation's min-over-minimal-cuts.
+//
+// The residue fallback mirrors src/dissociation/single_plan.cc decision
+// for decision, and the separator rule only short-circuits where the
+// separator set provably *is* the unique minimal (p-)cut — every cut-set
+// must contain the full separator set (a remaining separator variable
+// keeps all (probabilistic) atoms connected), so if removing it
+// disconnects the atoms, {separator set} is the one minimal cut and
+// Min-over-cuts collapses to a plain projection. Consequence: the emitted
+// plan is bit-identical to BuildSinglePlan's on every query; what changes
+// is compile cost (safe levels skip the Gosper subset scan entirely) and
+// the exactness verdict the engine can route on.
+#ifndef DISSODB_LIFT_SAFE_PLAN_H_
+#define DISSODB_LIFT_SAFE_PLAN_H_
+
+#include "src/common/status.h"
+#include "src/dissociation/minimal_plans.h"
+#include "src/plan/plan.h"
+#include "src/query/analysis.h"
+#include "src/query/cq.h"
+
+namespace dissodb {
+namespace lift {
+
+struct LiftOptions {
+  /// Memoize subproblems by (atom set, head) so shared subplans come out as
+  /// one DAG node (Opt. 2); matches SinglePlanOptions::reuse_common_subplans.
+  bool reuse_common_subplans = true;
+  /// Which schema knowledge the rules may exploit (Section 3.3).
+  PlanEnumOptions enum_opts;
+};
+
+/// Result of a lifted compilation.
+struct LiftedPlan {
+  PlanPtr plan;
+  /// True iff every recursion level resolved by a lifted rule: the plan is
+  /// the unique safe plan and its score is the exact probability
+  /// (Corollary 28). False as soon as one residue needed dissociation.
+  bool exact = false;
+  /// Distinct subproblems where no lifted rule applied and the compiler
+  /// fell back to Min over minimal cut-sets (dissociation upper bounds).
+  size_t unsafe_residues = 0;
+  /// Recursion levels resolved by the separator rule (each one skips a
+  /// full cut-set enumeration the legacy builder would have run).
+  size_t separator_shortcuts = 0;
+};
+
+/// Compiles `q` with the lifted rules, falling back to dissociation only at
+/// unsafe residues. The emitted plan is structurally identical to
+/// BuildSinglePlan(q, sk, ...) under matching options.
+Result<LiftedPlan> CompileSafePlan(const ConjunctiveQuery& q,
+                                   const SchemaKnowledge& sk,
+                                   const LiftOptions& opts = {});
+
+/// Safety verdict without building a plan (and without ever enumerating
+/// cut-sets — unlike IsSafeQuery, which runs Algorithm 1).
+struct SafetyAnalysis {
+  /// True iff the lifted rules resolve every level: the query is safe given
+  /// the knowledge and has an exact extensional plan.
+  bool safe = false;
+  /// Stuck subproblems at the recursion frontier (0 iff safe). Unlike
+  /// LiftedPlan::unsafe_residues this does not descend into cut branches.
+  size_t unsafe_residues = 0;
+};
+SafetyAnalysis AnalyzeSafety(const ConjunctiveQuery& q,
+                             const SchemaKnowledge& sk,
+                             const PlanEnumOptions& opts = {});
+
+}  // namespace lift
+}  // namespace dissodb
+
+#endif  // DISSODB_LIFT_SAFE_PLAN_H_

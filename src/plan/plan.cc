@@ -47,21 +47,37 @@ PlanPtr MakeMin(std::vector<PlanPtr> children) {
   return n;
 }
 
-bool IsSafePlan(const PlanPtr& plan, VarMask head_vars) {
+bool IsSafePlan(const PlanPtr& plan, VarMask head_vars, uint64_t det_atoms) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan:
       return true;
     case PlanNode::Kind::kProject:
-      return IsSafePlan(plan->children[0], head_vars);
+      return IsSafePlan(plan->children[0], head_vars, det_atoms);
     case PlanNode::Kind::kMin:
       // A min of safe plans is not a single safe plan; report safe only if
       // it degenerates to one child (MakeMin collapses that case).
       return false;
     case PlanNode::Kind::kJoin: {
-      VarMask h = plan->children[0]->head & ~head_vars;
+      // Children carrying probabilistic atoms must agree on one head;
+      // fully deterministic children (probability-1 existence filters) may
+      // broadcast-join with any subset of it.
+      bool have_h = false;
+      VarMask h = 0;
       for (const auto& c : plan->children) {
-        if ((c->head & ~head_vars) != h) return false;
-        if (!IsSafePlan(c, head_vars)) return false;
+        if (!IsSafePlan(c, head_vars, det_atoms)) return false;
+        if ((PlanAtomSet(c) & ~det_atoms) == 0) continue;
+        const VarMask ch = c->head & ~head_vars;
+        if (!have_h) {
+          h = ch;
+          have_h = true;
+        } else if (ch != h) {
+          return false;
+        }
+      }
+      if (!have_h) return true;  // all-deterministic join
+      for (const auto& c : plan->children) {
+        if ((PlanAtomSet(c) & ~det_atoms) != 0) continue;
+        if (((c->head & ~head_vars) & ~h) != 0) return false;
       }
       return true;
     }

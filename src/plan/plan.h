@@ -60,7 +60,16 @@ PlanPtr MakeMin(std::vector<PlanPtr> children);
 /// (Definition 5), ignoring `head_vars` (the query's head variables act as
 /// per-answer constants). Safe plans compute exact probabilities
 /// (Proposition 6).
-bool IsSafePlan(const PlanPtr& plan, VarMask head_vars = 0);
+///
+/// `det_atoms` (bitmask of atom indices known deterministic) relaxes the
+/// join rule for the deterministic refinement: a child whose scans are all
+/// deterministic is a probability-1 existence filter, so it may
+/// broadcast-join against the common probabilistic head with any subset of
+/// it — the plan stays exact. Such children still must not introduce
+/// variables outside that head (aggregating a probabilistic subscore once
+/// per deterministic row would double-count it).
+bool IsSafePlan(const PlanPtr& plan, VarMask head_vars = 0,
+                uint64_t det_atoms = 0);
 
 /// Atoms referenced below `plan` (set of atom indices as a bitmask).
 uint64_t PlanAtomSet(const PlanPtr& plan);

@@ -156,6 +156,31 @@ VarMask SeparatorVars(std::span<const WorkAtom> atoms, VarMask evars) {
   return m;
 }
 
+VarMask ProbSeparatorVars(std::span<const WorkAtom> atoms, VarMask evars) {
+  VarMask m = evars;
+  bool any_prob = false;
+  for (const auto& a : atoms) {
+    if (!a.probabilistic) continue;
+    any_prob = true;
+    m &= a.vars;
+  }
+  return any_prob ? m : 0;
+}
+
+size_t CountProbComponents(std::span<const WorkAtom> atoms,
+                           VarMask connect_vars) {
+  size_t n = 0;
+  for (const auto& comp : ConnectedComponents(atoms, connect_vars)) {
+    for (int i : comp) {
+      if (atoms[i].probabilistic) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
 VarMask FDClosure(VarMask vars, std::span<const QueryFD> fds) {
   VarMask closure = vars;
   bool changed = true;

@@ -80,6 +80,19 @@ bool IsHierarchical(const ConjunctiveQuery& q);
 /// Separator (root) variables: existential variables occurring in every atom.
 VarMask SeparatorVars(std::span<const WorkAtom> atoms, VarMask evars);
 
+/// Separator restricted to probabilistic atoms (Section 3.3.1): existential
+/// variables occurring in every probabilistic atom. Any variable in this set
+/// keeps all probabilistic atoms connected while present, so every p-cut-set
+/// must contain the whole set — if removing it yields >= 2 probabilistic
+/// components, it is the unique minimal p-cut. All atoms probabilistic
+/// reduces to SeparatorVars. Returns 0 when there is no probabilistic atom.
+VarMask ProbSeparatorVars(std::span<const WorkAtom> atoms, VarMask evars);
+
+/// Number of connected components under `connect_vars` that contain at
+/// least one probabilistic atom (the count MinPCuts tests against).
+size_t CountProbComponents(std::span<const WorkAtom> atoms,
+                           VarMask connect_vars);
+
 /// Closure of `vars` under the FDs (standard fixpoint).
 VarMask FDClosure(VarMask vars, std::span<const QueryFD> fds);
 

@@ -231,6 +231,32 @@ TEST(EngineTraceTest, OffByDefaultAndBitIdenticalWhenOn) {
   EXPECT_EQ(traced->nodes_evaluated, plain->nodes_evaluated);
 }
 
+TEST(EngineTraceTest, RootSpanAnnotatesSafePlanRouting) {
+  // The execute root span records how the safe-plan router resolved the
+  // query: "exact" for a lifted safe plan, "dissociated" otherwise — in
+  // ToText() and in the Chrome JSON args.
+  Database db = RstDatabase();
+  QueryEngine engine = QueryEngine::Borrow(db);
+
+  auto safe = engine.Prepare("q(x) :- R(x), S(x,y), T(y)");  // y hierarchical
+  ASSERT_TRUE(safe.ok());
+  auto st = engine.Execute(*safe, Bindings().EnableTrace());
+  ASSERT_TRUE(st.ok());
+  ASSERT_NE(st->trace, nullptr);
+  EXPECT_TRUE(st->exact);
+  EXPECT_NE(st->trace->ToText().find("safe_plan=exact"), std::string::npos);
+  EXPECT_NE(st->trace->ToChromeJson().find("safe_plan"), std::string::npos);
+
+  auto unsafe_q = engine.Prepare("q() :- R(x), S(x,y), T(y)");  // 3-chain
+  ASSERT_TRUE(unsafe_q.ok());
+  auto ut = engine.Execute(*unsafe_q, Bindings().EnableTrace());
+  ASSERT_TRUE(ut.ok());
+  ASSERT_NE(ut->trace, nullptr);
+  EXPECT_FALSE(ut->exact);
+  EXPECT_NE(ut->trace->ToText().find("safe_plan=dissociated"),
+            std::string::npos);
+}
+
 TEST(EngineTraceTest, SpanRowCountsMatchReferenceOperators) {
   Database db = RstDatabase();
   QueryEngine engine = QueryEngine::Borrow(db);
