@@ -111,6 +111,36 @@ int main(int argc, char** argv) {
                 RankingToString(res->answers, db, 5).c_str());
   }
 
+  // Anytime verdict: the same query through the guarantee-aware entry
+  // point — safe queries come back exact, unsafe ones certify their top-3
+  // order by refining only the answers contesting the rank boundary.
+  {
+    auto p = engine.Prepare(*q);
+    if (p.ok()) {
+      GuaranteeSpec gspec;
+      gspec.top_k = 3;
+      auto any = engine.RunWithGuarantees(*p, {}, gspec);
+      if (any.ok()) {
+        const char* verdict = AnytimeVerdictName(any->verdict);
+        if (any->verdict == AnytimeVerdict::kCertified) {
+          std::printf("\nanytime verdict: certified@%zu (refined %zu of %zu "
+                      "answers in %zu rounds)\n",
+                      any->certified_prefix, any->refined_answers,
+                      any->answers.size(), any->refine_rounds);
+        } else {
+          std::printf("\nanytime verdict: %s (%zu answers)\n", verdict,
+                      any->answers.size());
+        }
+        for (size_t i = 0; i < std::min<size_t>(3, any->answers.size());
+             ++i) {
+          const auto& a = any->answers[i];
+          std::printf("  #%zu p in [%.6f, %.6f]%s\n", i + 1, a.lower,
+                      a.upper, a.certified ? "  (certified)" : "");
+        }
+      }
+    }
+  }
+
   // Observability: the same execution traced. The span tree is an
   // EXPLAIN-ANALYZE view of the evaluation — one span per plan node with
   // wall time, row counts, zone-map pruning, cache interactions, and the

@@ -1,0 +1,90 @@
+#include "src/anytime/interval_rank.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dissodb {
+
+void SortBoundedAnswers(std::vector<BoundedAnswer>* answers) {
+  std::sort(answers->begin(), answers->end(),
+            [](const BoundedAnswer& a, const BoundedAnswer& b) {
+              if (a.point != b.point) return a.point > b.point;
+              return a.tuple < b.tuple;
+            });
+}
+
+CertifyResult CertifyAnswers(const std::vector<BoundedAnswer>& answers,
+                             const GuaranteeSpec& spec) {
+  CertifyResult out;
+  const size_t n = answers.size();
+  if (!spec.HasTargets()) {
+    // Bounds-only mode: nothing to certify, nothing contested.
+    return out;
+  }
+  const size_t k = std::min(spec.top_k, n);
+
+  // Suffix maxima of the upper bounds: suffix_max[i] = max upper over j > i.
+  std::vector<double> suffix_max(n + 1);
+  suffix_max[n] = -std::numeric_limits<double>::infinity();
+  for (size_t j = n; j-- > 0;) {
+    suffix_max[j] = std::max(suffix_max[j + 1], answers[j].upper);
+  }
+
+  // Certified prefix: stop at the first position whose lower bound some
+  // later upper bound exceeds. >= lets exact ties through — two answers
+  // refined to the same point have lower_i == upper_j and either order is
+  // a correct ranking (the tuple tiebreak picks the same one exact
+  // ranking does).
+  size_t prefix = 0;
+  while (prefix < k && answers[prefix].lower >= suffix_max[prefix + 1]) {
+    ++prefix;
+  }
+  out.certified_prefix = prefix;
+
+  bool topk_done = prefix >= k;
+  if (!topk_done) {
+    // The contest at position `prefix`: the position holder plus every
+    // later answer whose interval still reaches above its lower bound.
+    const double boundary = answers[prefix].lower;
+    out.contested.push_back(prefix);
+    std::vector<size_t> blockers;
+    for (size_t j = prefix + 1; j < n; ++j) {
+      if (answers[j].upper > boundary) blockers.push_back(j);
+    }
+    // Most-overlapping first: the highest uppers pin the boundary down.
+    std::stable_sort(blockers.begin(), blockers.end(),
+                     [&](size_t a, size_t b) {
+                       return answers[a].upper > answers[b].upper;
+                     });
+    out.contested.insert(out.contested.end(), blockers.begin(),
+                         blockers.end());
+  }
+
+  bool eps_done = true;
+  if (spec.epsilon < std::numeric_limits<double>::infinity()) {
+    std::vector<size_t> wide;
+    for (size_t i = 0; i < n; ++i) {
+      if (answers[i].width() > spec.epsilon) wide.push_back(i);
+    }
+    eps_done = wide.empty();
+    std::stable_sort(wide.begin(), wide.end(), [&](size_t a, size_t b) {
+      return answers[a].width() > answers[b].width();
+    });
+    for (size_t i : wide) {
+      if (std::find(out.contested.begin(), out.contested.end(), i) ==
+          out.contested.end()) {
+        out.contested.push_back(i);
+      }
+    }
+  }
+
+  out.done = topk_done && eps_done;
+  if (out.done) {
+    out.contested.clear();
+  } else if (out.contested.size() > spec.max_refined_per_round) {
+    out.contested.resize(spec.max_refined_per_round);
+  }
+  return out;
+}
+
+}  // namespace dissodb

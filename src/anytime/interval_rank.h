@@ -1,0 +1,49 @@
+// Interval-based ranking: which answers does a guarantee already cover,
+// and which still contest a rank boundary?
+//
+// The anytime controller keeps one [lower, upper] interval per answer and
+// must decide, each round, (a) how many top positions are already
+// *certified* — provably ahead of every later answer no matter where the
+// true probabilities fall inside their intervals — and (b) which answers
+// to refine next. Certification is pure interval arithmetic: position i is
+// certified once lower_i >= max_{j>i} upper_j (>= so exact ties, which
+// refinement collapses to identical points, still certify).
+#ifndef DISSODB_ANYTIME_INTERVAL_RANK_H_
+#define DISSODB_ANYTIME_INTERVAL_RANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/anytime/anytime.h"
+
+namespace dissodb {
+
+/// Sorts answers by descending point score, ties by ascending tuple — the
+/// engine's ranking convention (RankAnswers), so the certified prefix of
+/// the anytime ranking is positionally comparable to the exact ranking.
+void SortBoundedAnswers(std::vector<BoundedAnswer>* answers);
+
+/// One certification pass over answers sorted by SortBoundedAnswers.
+struct CertifyResult {
+  /// Positions [0, certified_prefix) are order-certified: each provably
+  /// outranks every answer after it. Capped at the requested k.
+  size_t certified_prefix = 0;
+  /// Answer indices still violating a guarantee, in refinement priority
+  /// order (rank-boundary contestants first, widest interval first among
+  /// epsilon violators), capped at `spec.max_refined_per_round`.
+  std::vector<size_t> contested;
+  /// Every requested guarantee holds (contested is then empty).
+  bool done = false;
+};
+
+/// Evaluates the guarantees of `spec` against the current intervals.
+/// With a top-k target, the contested set at the first uncertified
+/// position i is {i} plus every j > i whose upper bound exceeds lower_i
+/// (the blockers); with an epsilon target, every answer with
+/// width > epsilon. No targets: done immediately.
+CertifyResult CertifyAnswers(const std::vector<BoundedAnswer>& answers,
+                             const GuaranteeSpec& spec);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_ANYTIME_INTERVAL_RANK_H_

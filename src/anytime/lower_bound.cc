@@ -1,0 +1,153 @@
+#include "src/anytime/lower_bound.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/dissociation/dissociation.h"
+
+namespace dissodb {
+
+namespace {
+
+/// Largest exponent we distinguish: beyond this 1-(1-p)^(1/d) underflows
+/// towards 0 anyway and the product of domain sizes risks overflow.
+constexpr double kMaxExponent = 1e15;
+
+const std::vector<PlanPtr>& PlansOf(const CompiledPlans& compiled,
+                                    std::vector<PlanPtr>* single_storage) {
+  if (compiled.single_plan != nullptr) {
+    single_storage->assign(1, compiled.single_plan);
+    return *single_storage;
+  }
+  return compiled.plans;
+}
+
+/// The table bound to atom `idx`: the override when present, else the
+/// snapshot table of the atom's relation (nullptr when absent — the
+/// subsequent evaluation will fail with the proper error).
+const Table* AtomTable(const Snapshot& snap, const ConjunctiveQuery& q,
+                       const AtomOverrides& overrides, int idx) {
+  auto it = overrides.find(idx);
+  if (it != overrides.end()) return it->second.table;
+  int t = snap.FindTable(q.atom(idx).relation);
+  return t < 0 ? nullptr : &snap.table(t);
+}
+
+/// Exact count of distinct values variable `v` takes in the tables of the
+/// atoms natively containing it; minimum over those atoms (every atom's
+/// column bounds the join's active domain). Raw 64-bit payloads are exact
+/// within a typed column — a sketch could undercount and make the bound
+/// unsound. Returns 1 when no atom binds `v` (cannot happen for extra
+/// variables of a valid dissociation) or a table is missing.
+double ActiveDomainSize(const Snapshot& snap, const ConjunctiveQuery& q,
+                        const AtomOverrides& overrides, VarId v) {
+  double best = kMaxExponent;
+  bool found = false;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if (!MaskContains(q.AtomMask(i), v)) continue;
+    const Atom& atom = q.atom(i);
+    int col = -1;
+    for (int j = 0; j < atom.arity(); ++j) {
+      if (atom.terms[j].is_var && atom.terms[j].var == v) {
+        col = j;
+        break;
+      }
+    }
+    if (col < 0) continue;
+    const Table* t = AtomTable(snap, q, overrides, i);
+    if (t == nullptr) continue;
+    std::unordered_set<uint64_t> distinct;
+    const size_t n = t->NumRows();
+    distinct.reserve(n);
+    for (size_t r = 0; r < n; ++r) distinct.insert(t->col(col)->RawBits(r));
+    best = std::min(best, static_cast<double>(distinct.size()));
+    found = true;
+  }
+  if (!found) return 1.0;
+  return std::max(best, 1.0);
+}
+
+}  // namespace
+
+std::vector<double> ObliviousExponents(const Snapshot& snap,
+                                       const ConjunctiveQuery& q,
+                                       const CompiledPlans& compiled,
+                                       const AtomOverrides& overrides) {
+  std::vector<PlanPtr> single_storage;
+  const std::vector<PlanPtr>& plans = PlansOf(compiled, &single_storage);
+
+  // Union of extra variables per atom over every plan (Min branches
+  // included via ExtractDissociation's recursion): a superset of the
+  // dissociation any single branch induces, hence a valid d for all.
+  std::vector<VarMask> extra(q.num_atoms(), 0);
+  for (const PlanPtr& p : plans) {
+    Dissociation delta = ExtractDissociation(p, q);
+    for (int i = 0; i < q.num_atoms(); ++i) extra[i] |= delta.extra[i];
+  }
+
+  // Active-domain sizes, computed once per variable and shared.
+  std::vector<double> adom(q.num_vars(), 0.0);
+  std::vector<double> d(q.num_atoms(), 1.0);
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    for (VarId v : MaskToVars(extra[i])) {
+      if (adom[v] == 0.0) adom[v] = ActiveDomainSize(snap, q, overrides, v);
+      d[i] = std::min(d[i] * adom[v], kMaxExponent);
+    }
+  }
+  return d;
+}
+
+Result<Rel> ObliviousLowerBounds(const Snapshot& snap,
+                                 const ConjunctiveQuery& q,
+                                 const CompiledPlans& compiled,
+                                 const AtomOverrides& overrides,
+                                 const std::vector<double>& exponents,
+                                 Scheduler* scheduler,
+                                 obs::TraceContext* trace,
+                                 uint32_t trace_parent) {
+  std::vector<PlanPtr> single_storage;
+  const std::vector<PlanPtr>& plans = PlansOf(compiled, &single_storage);
+  if (plans.empty()) return Status::InvalidArgument("no compiled plans");
+
+  // Shallow table copies with rescaled weight columns. Reserve up front:
+  // SetAtomTable keeps raw pointers into this vector.
+  std::vector<Table> scaled;
+  scaled.reserve(q.num_atoms());
+  AtomOverrides lb_overrides;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    const Table* base = AtomTable(snap, q, overrides, i);
+    if (base == nullptr) {
+      return Status::NotFound("no table named " + q.atom(i).relation);
+    }
+    const double d = i < static_cast<int>(exponents.size()) ? exponents[i]
+                                                            : 1.0;
+    if (d > 1.0 && !base->schema().deterministic && base->NumRows() > 0) {
+      scaled.push_back(*base);
+      scaled.back().DissociateProbabilitiesObliviously(d);
+      // Untagged on purpose: rescaled contents must never be exchanged
+      // with the shared result cache under the base table's identity.
+      lb_overrides[i] = AtomOverride{&scaled.back(), {}};
+    } else if (overrides.count(i) != 0) {
+      lb_overrides[i] = AtomOverride{base, {}};
+    }
+  }
+
+  if (plans.size() == 1) {
+    PlanEvaluator ev(snap, q);
+    for (const auto& [idx, ov] : lb_overrides) {
+      ev.SetAtomTable(idx, ov.table);
+    }
+    if (scheduler != nullptr) ev.SetScheduler(scheduler);
+    if (trace != nullptr) ev.SetTrace(trace, trace_parent);
+    auto rel = ev.Evaluate(plans[0]);
+    if (!rel.ok()) return rel.status();
+    return Rel(**rel);
+  }
+  // Min over plans: each plan's score lower-bounds P(q), and the minimum
+  // of per-answer lower bounds is still a lower bound (only looser).
+  return EvaluatePlansSeparately(snap, q, plans, lb_overrides,
+                                 /*scan_stats=*/nullptr, trace, trace_parent);
+}
+
+}  // namespace dissodb

@@ -1,0 +1,71 @@
+// Symmetric lower bounds from oblivious weight scaling.
+//
+// The dissociation plans give per-answer *upper* bounds: each minimal plan
+// P with induced dissociation Delta_P treats the d distinct dissociated
+// copies of a tuple as independent events with the tuple's own probability
+// p, which can only raise the score (Theorem 12). Rescaling every weight to
+// p' = 1 - (1-p)^(1/d) makes those d independent copies *jointly* as likely
+// as the original tuple (1 - (1-p')^d = p), so the same plan over the
+// rescaled weights computes the probability of a query that is implied by
+// q — a lower bound on P(q). This is the symmetric instance of the
+// oblivious-bounds framework (Gatterbauer & Suciu, "Oblivious bounds on
+// the probability of Boolean functions", TODS 2014; Section 6.3 of the
+// VLDB'15 paper points to it): it needs only a per-relation exponent, no
+// per-tuple bookkeeping, so it reuses the evaluator unchanged.
+//
+// Soundness needs d_i >= the number of dissociated copies any tuple of
+// atom i actually has, i.e. the product of active-domain sizes of the
+// atom's extra variables. Over-estimating d only loosens the bound (p'
+// shrinks monotonically in d, and plan scores are monotone in the input
+// probabilities), so we take, per atom, the union of extra variables over
+// *all* compiled plans (including every Min branch) and exact — not
+// hash-approximate — active-domain counts.
+//
+// "No table copies": the transform touches only the weight column of a
+// shallow (copy-on-write) Table copy; payload columns stay shared with the
+// pinned snapshot.
+#ifndef DISSODB_ANYTIME_LOWER_BOUND_H_
+#define DISSODB_ANYTIME_LOWER_BOUND_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/prepared_query.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/rel.h"
+#include "src/obs/trace.h"
+#include "src/query/cq.h"
+#include "src/serve/scheduler.h"
+#include "src/storage/snapshot.h"
+
+namespace dissodb {
+
+/// Per-atom dissociation exponents d_i for the compiled plans of `q`:
+/// the product of exact active-domain sizes of every extra variable any
+/// plan attaches to atom i (1.0 for undissociated atoms), clamped to
+/// [1, 1e15]. `overrides` (canonical atom index space) substitute the
+/// tables used both for counting and, later, for evaluation.
+std::vector<double> ObliviousExponents(const Snapshot& snap,
+                                       const ConjunctiveQuery& q,
+                                       const CompiledPlans& compiled,
+                                       const AtomOverrides& overrides);
+
+/// Evaluates the compiled plans over obliviously rescaled weights
+/// (p -> 1 - (1-p)^(1/d_i) per atom) and min-merges, yielding per-answer
+/// lower bounds on P(q = a) in canonical variable space. Mirrors the
+/// upper-bound evaluation: same plans, same snapshot, same overrides —
+/// only the weight columns differ, bound to the evaluator untagged so the
+/// rescaled results never enter the shared result cache. `exponents` must
+/// come from ObliviousExponents (or be elementwise >= it).
+Result<Rel> ObliviousLowerBounds(const Snapshot& snap,
+                                 const ConjunctiveQuery& q,
+                                 const CompiledPlans& compiled,
+                                 const AtomOverrides& overrides,
+                                 const std::vector<double>& exponents,
+                                 Scheduler* scheduler = nullptr,
+                                 obs::TraceContext* trace = nullptr,
+                                 uint32_t trace_parent = 0);
+
+}  // namespace dissodb
+
+#endif  // DISSODB_ANYTIME_LOWER_BOUND_H_

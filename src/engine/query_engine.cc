@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "src/anytime/controller.h"
 #include "src/dissociation/minimal_plans.h"
 #include "src/dissociation/single_plan.h"
 #include "src/exec/evaluator.h"
@@ -80,10 +81,24 @@ QueryEngine::QueryEngine(std::shared_ptr<const Database> db,
       m_safe_routed_(metrics_.counter("engine.safe_plan.routed")),
       m_safe_residue_(metrics_.counter("engine.safe_plan.unsafe_residue")),
       m_safe_fallback_(metrics_.counter("engine.safe_plan.fallback")),
+      m_anytime_runs_(metrics_.counter("engine.anytime.runs")),
+      m_anytime_exact_(metrics_.counter("engine.anytime.exact")),
+      m_anytime_certified_(metrics_.counter("engine.anytime.certified")),
+      m_anytime_bounds_only_(metrics_.counter("engine.anytime.bounds_only")),
+      m_anytime_deadline_aborts_(
+          metrics_.counter("engine.anytime.deadline_aborts")),
+      m_anytime_refine_rounds_(
+          metrics_.counter("engine.anytime.refine_rounds")),
+      m_anytime_refined_answers_(
+          metrics_.counter("engine.anytime.refined_answers")),
+      m_mc_samples_drawn_(metrics_.counter("mc.samples_drawn")),
       m_execute_ns_(metrics_.histogram("engine.execute_ns")),
       m_commit_append_ns_per_row_(
           metrics_.histogram("commit.append_ns_per_row")),
-      m_safe_compile_ns_(metrics_.histogram("engine.safe_plan.compile_ns")) {
+      m_safe_compile_ns_(metrics_.histogram("engine.safe_plan.compile_ns")),
+      m_anytime_rounds_per_query_(
+          metrics_.histogram("engine.anytime.refine_rounds_per_query")),
+      m_anytime_run_ns_(metrics_.histogram("engine.anytime.run_ns")) {
   if (opts_.result_cache_capacity > 0) {
     result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_capacity);
   }
@@ -579,6 +594,139 @@ Result<QueryResult> QueryEngine::ExecuteInternal(const PreparedQuery& prepared,
                        std::string(result.exact ? "exact" : "dissociated"));
     trace_ctx.EndSpan(root);
     result.trace =
+        std::make_shared<const obs::QueryTrace>(trace_ctx.Finish());
+    m_traces_->Add(1);
+  }
+  return result;
+}
+
+Result<AnytimeResult> QueryEngine::RunWithGuarantees(
+    const PreparedQuery& prepared, const Bindings& bindings,
+    const GuaranteeSpec& spec) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("executing an empty PreparedQuery handle");
+  }
+  const PreparedQuery::Impl& impl = *prepared.impl_;
+  const uint64_t t_start = obs::NowNanos();
+
+  const bool traced =
+      bindings.trace_requested() ||
+      (opts_.trace_sample_every > 0 &&
+       trace_tick_.fetch_add(1, std::memory_order_relaxed) %
+               opts_.trace_sample_every ==
+           0);
+  obs::TraceContext trace_ctx;
+  obs::TraceContext* trace = traced ? &trace_ctx : nullptr;
+  uint32_t root = 0;
+  if (traced) {
+    root = trace_ctx.BeginSpan("anytime " + impl.canon.query.ToString(), 0);
+  }
+
+  // Parameter substitution and atom-override remap, exactly as
+  // ExecuteInternal does them.
+  const int np = impl.canon.query.num_params();
+  ConjunctiveQuery substituted;
+  const ConjunctiveQuery* exec_q = &impl.canon.query;
+  if (np > 0) {
+    auto params = bindings.ParamVector(np);
+    if (!params.ok()) return params.status();
+    auto sub = SubstituteParams(impl.canon.query, *params);
+    if (!sub.ok()) return sub.status();
+    substituted = std::move(*sub);
+    exec_q = &substituted;
+  } else if (bindings.num_params_bound() > 0) {
+    return Status::InvalidArgument(
+        "bindings provide parameter values but the query has no placeholders");
+  }
+  AtomOverrides effective;
+  for (const auto& [idx, ov] : bindings.atom_overrides()) {
+    if (idx < 0 || idx >= exec_q->num_atoms() || ov.table == nullptr) {
+      return Status::InvalidArgument("atom binding index out of range");
+    }
+    effective[impl.canon.atom_orig_to_canon[idx]] = ov;
+  }
+
+  AnytimeInput input;
+  input.snap = db_->snapshot();
+  input.db = db_.get();
+  input.query = exec_q;
+  input.compiled = impl.compiled.get();
+  input.overrides = std::move(effective);
+  input.var_map = impl.canon.identity ? nullptr : &impl.canon.canon_to_orig;
+  input.scheduler = EnsureScheduler();
+  input.trace = trace;
+  input.trace_parent = root;
+
+  auto run = RunAnytime(input, spec);
+  if (!run.ok()) return run.status();
+  AnytimeOutput& o = *run;
+
+  AnytimeResult result;
+  result.verdict = o.verdict;
+  result.refine_rounds = o.stats.refine_rounds;
+  result.refined_answers = o.stats.refined_answers;
+  result.contested_initial = o.stats.contested_initial;
+  result.mc_samples_drawn = o.stats.mc_samples_drawn;
+  result.certified_prefix = o.stats.certified_prefix;
+  result.deadline_hit = o.stats.deadline_hit;
+  result.exponents = std::move(o.exponents);
+
+  result.base.num_minimal_plans = impl.compiled->num_minimal_plans;
+  result.base.from_plan_cache = impl.from_plan_cache;
+  result.base.exact = o.verdict == AnytimeVerdict::kExact;
+  result.base.certified = o.verdict != AnytimeVerdict::kBoundsOnly;
+  result.base.answers.reserve(o.answers.size());
+  result.base.lower_bounds.reserve(o.answers.size());
+  for (const BoundedAnswer& a : o.answers) {
+    result.base.answers.push_back(RankedAnswer{a.tuple, a.point});
+    result.base.lower_bounds.push_back(a.lower);
+  }
+  result.answers = std::move(o.answers);
+
+  m_queries_->Add(1);
+  m_anytime_runs_->Add(1);
+  switch (result.verdict) {
+    case AnytimeVerdict::kExact:
+      m_anytime_exact_->Add(1);
+      break;
+    case AnytimeVerdict::kCertified:
+      m_anytime_certified_->Add(1);
+      break;
+    case AnytimeVerdict::kBoundsOnly:
+      m_anytime_bounds_only_->Add(1);
+      break;
+  }
+  if (result.deadline_hit) m_anytime_deadline_aborts_->Add(1);
+  if (result.refine_rounds > 0) {
+    m_anytime_refine_rounds_->Add(result.refine_rounds);
+  }
+  if (result.refined_answers > 0) {
+    m_anytime_refined_answers_->Add(result.refined_answers);
+  }
+  if (result.mc_samples_drawn > 0) {
+    m_mc_samples_drawn_->Add(result.mc_samples_drawn);
+  }
+  m_anytime_rounds_per_query_->Record(result.refine_rounds);
+  m_anytime_run_ns_->Record(obs::NowNanos() - t_start);
+
+  if (traced) {
+    // The escalation rung this execution ended on: bounds -> refine ->
+    // certified (exact counts as certified — every guarantee holds).
+    const char* rung =
+        result.verdict != AnytimeVerdict::kBoundsOnly
+            ? "certified"
+            : (result.refine_rounds > 0 ? "refine" : "bounds");
+    trace_ctx.Annotate(root, "anytime", std::string(rung));
+    trace_ctx.Annotate(root, "verdict",
+                       std::string(AnytimeVerdictName(result.verdict)));
+    trace_ctx.Annotate(root, "answers",
+                       static_cast<uint64_t>(result.answers.size()));
+    trace_ctx.Annotate(root, "refine_rounds",
+                       static_cast<uint64_t>(result.refine_rounds));
+    trace_ctx.Annotate(root, "refined_answers",
+                       static_cast<uint64_t>(result.refined_answers));
+    trace_ctx.EndSpan(root);
+    result.base.trace =
         std::make_shared<const obs::QueryTrace>(trace_ctx.Finish());
     m_traces_->Add(1);
   }

@@ -54,6 +54,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/anytime/anytime.h"
 #include "src/common/status.h"
 #include "src/dissociation/propagation.h"
 #include "src/engine/bindings.h"
@@ -196,6 +197,40 @@ struct QueryResult {
   /// (EngineOptions.trace_sample_every or Bindings::EnableTrace). Export
   /// with ToText() / ToChromeJson() (Perfetto-loadable).
   std::shared_ptr<const obs::QueryTrace> trace;
+  /// Anytime executions only (RunWithGuarantees): per-answer lower bounds
+  /// aligned with `answers` (whose scores are then the interval's point
+  /// estimates and upper bounds for unrefined answers). Empty for plain
+  /// Execute results.
+  std::vector<double> lower_bounds;
+  /// Anytime executions only: every guarantee the caller requested was met
+  /// (verdict kExact or kCertified). Always false for plain Execute.
+  bool certified = false;
+};
+
+/// Result of QueryEngine::RunWithGuarantees: bounded answers plus the
+/// escalation verdict and refinement telemetry. `base` mirrors the answers
+/// as an ordinary QueryResult (point scores, lower_bounds, certified) so
+/// existing consumers keep working.
+struct AnytimeResult {
+  /// Sorted by descending point score, ties ascending tuple — positionally
+  /// comparable to QueryResult::answers from Execute.
+  std::vector<BoundedAnswer> answers;
+  AnytimeVerdict verdict = AnytimeVerdict::kBoundsOnly;
+  size_t refine_rounds = 0;
+  /// Distinct answers refined at all — stays below answers.size() whenever
+  /// interval ranking settled some positions from bounds alone.
+  size_t refined_answers = 0;
+  /// Answers contesting a rank boundary right after the bounds stages.
+  size_t contested_initial = 0;
+  size_t mc_samples_drawn = 0;
+  /// Order-certified top positions (top-k target).
+  size_t certified_prefix = 0;
+  /// Guarantees unmet because the deadline fired mid-refinement.
+  bool deadline_hit = false;
+  /// Per-atom oblivious exponents d_i of the lower-bound transform (empty
+  /// on the safe-exact route).
+  std::vector<double> exponents;
+  QueryResult base;
 };
 
 class QueryEngine {
@@ -235,6 +270,21 @@ class QueryEngine {
   /// calls with one held snapshot return bit-identical results.
   Result<QueryResult> Execute(const PreparedQuery& prepared,
                               const Bindings& bindings, const Snapshot& snap);
+
+  /// Anytime execution: staged escalation from dissociation bounds to
+  /// certified exactness (src/anytime/). Safe queries return exact point
+  /// intervals immediately; unsafe queries get [lower, upper] intervals
+  /// from the dissociation plans (upper) and their obliviously rescaled
+  /// evaluation (lower), then — only for answers whose intervals still
+  /// contest a rank boundary or exceed the width budget — lineage-level
+  /// refinement (exact WMC or incremental MC) in cancellable rounds until
+  /// the guarantees of `spec` hold, the budget dries up, or the deadline
+  /// fires. The bounds stages always complete; the deadline gates only
+  /// refinement, and an expired deadline returns bounds-only with no
+  /// worker left running.
+  Result<AnytimeResult> RunWithGuarantees(const PreparedQuery& prepared,
+                                          const Bindings& bindings = {},
+                                          const GuaranteeSpec& spec = {});
 
   /// Asynchronous execution: enqueues one pooled task and returns
   /// immediately; the execution snapshots the database when it starts.
@@ -413,9 +463,19 @@ class QueryEngine {
   obs::Counter* m_safe_routed_;
   obs::Counter* m_safe_residue_;
   obs::Counter* m_safe_fallback_;
+  obs::Counter* m_anytime_runs_;
+  obs::Counter* m_anytime_exact_;
+  obs::Counter* m_anytime_certified_;
+  obs::Counter* m_anytime_bounds_only_;
+  obs::Counter* m_anytime_deadline_aborts_;
+  obs::Counter* m_anytime_refine_rounds_;
+  obs::Counter* m_anytime_refined_answers_;
+  obs::Counter* m_mc_samples_drawn_;
   obs::Histogram* m_execute_ns_;
   obs::Histogram* m_commit_append_ns_per_row_;
   obs::Histogram* m_safe_compile_ns_;
+  obs::Histogram* m_anytime_rounds_per_query_;
+  obs::Histogram* m_anytime_run_ns_;
   /// Round-robin tick for EngineOptions.trace_sample_every.
   std::atomic<uint64_t> trace_tick_{0};
   /// Declared last on purpose: destroyed first, so the pool joins (running

@@ -1,24 +1,57 @@
 #include "src/infer/mc.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace dissodb {
 
 double NaiveDnfEstimate(const Dnf& f, size_t samples, Rng* rng) {
   if (f.terms.empty() || samples == 0) return 0.0;
-  const int n = f.num_vars();
-  std::vector<bool> world(n);
-  size_t hits = 0;
-  for (size_t s = 0; s < samples; ++s) {
-    for (int v = 0; v < n; ++v) world[v] = rng->NextBernoulli(f.probs[v]);
-    if (f.Evaluate(world)) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(samples);
+  McEstimator est(&f);
+  est.AddBatch(samples, rng);
+  return est.Estimate();
 }
 
-double KarpLubyEstimate(const Dnf& f, size_t samples, Rng* rng) {
-  if (f.terms.empty() || samples == 0) return 0.0;
+size_t McEstimator::AddBatch(size_t n, Rng* rng,
+                             const std::function<bool()>& cancelled) {
+  if (n == 0) return 0;
+  // Sample into locals; fold in only when the whole batch completed, so a
+  // mid-batch cancellation leaves (hits_, samples_) untouched and the
+  // accumulated state stays a pure function of the completed batches.
+  const int nv = f_->num_vars();
+  size_t batch_hits = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (cancelled && (s & 511) == 511 && cancelled()) return 0;
+    for (int v = 0; v < nv; ++v) world_[v] = rng->NextBernoulli(f_->probs[v]);
+    if (f_->Evaluate(world_)) ++batch_hits;
+  }
+  hits_ += batch_hits;
+  samples_ += n;
+  return n;
+}
+
+double McEstimator::HalfWidth() const {
+  if (samples_ == 0) return std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(samples_);
+  const double p = Estimate();
+  // 4-sigma normal approximation, floored at 4/n: near p in {0, 1} the
+  // binomial variance estimate collapses to zero while the estimator can
+  // still be off by O(1/n) (rule-of-three regime).
+  const double sigma = std::sqrt(std::max(p * (1.0 - p) / n, 0.0));
+  return std::max(4.0 * sigma, 4.0 / n);
+}
+
+Result<double> KarpLubyEstimate(const Dnf& f, size_t samples, Rng* rng) {
+  if (f.terms.empty()) {
+    return Status::InvalidArgument(
+        "Karp-Luby estimate of a formula with no terms (no lineage; "
+        "distinct from a true probability of 0)");
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("Karp-Luby estimate with zero samples");
+  }
   const int n = f.num_vars();
   const size_t t = f.num_terms();
 
@@ -31,6 +64,7 @@ double KarpLubyEstimate(const Dnf& f, size_t samples, Rng* rng) {
     weight[i] = w;
     total += w;
   }
+  // Every term contains a zero-probability variable: P(F) is truly 0.
   if (total <= 0.0) return 0.0;
   std::vector<double> cdf(t);
   double acc = 0.0;

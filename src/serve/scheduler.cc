@@ -8,6 +8,7 @@ namespace dissodb {
 Scheduler::Scheduler(int num_threads, obs::MetricsRegistry* metrics)
     : metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()),
       tasks_executed_(metrics_->counter("scheduler.tasks_executed")),
+      tasks_cancelled_(metrics_->counter("scheduler.tasks_cancelled")),
       morsels_(metrics_->counter("scheduler.morsels")),
       busy_workers_(metrics_->gauge("scheduler.busy_workers")),
       pool_threads_(metrics_->gauge("scheduler.pool_threads")) {
@@ -44,6 +45,15 @@ Scheduler::ClassMetrics* Scheduler::MetricsFor(const char* task_class) {
 }
 
 void Scheduler::RunTask(QueuedTask task) {
+  if (task.token != nullptr && task.token->cancelled()) {
+    // Skip without running: record the queue wait (the task did wait), but
+    // not a run time — it never started.
+    task.cm->queue_wait->Record(obs::NowNanos() - task.enqueue_ns);
+    local_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    tasks_cancelled_->Add(1);
+    if (task.done) task.done();
+    return;
+  }
   const uint64_t start = obs::NowNanos();
   task.cm->queue_wait->Record(start - task.enqueue_ns);
   busy_workers_->Add(1);
@@ -51,6 +61,7 @@ void Scheduler::RunTask(QueuedTask task) {
   busy_workers_->Add(-1);
   task.cm->run->Record(obs::NowNanos() - start);
   CountTask();
+  if (task.done) task.done();
 }
 
 void Scheduler::WorkerLoop() {
@@ -72,6 +83,18 @@ void Scheduler::Submit(std::function<void()> fn, const char* task_class) {
   {
     std::lock_guard lock(mu_);
     queue_.push_back(QueuedTask{std::move(fn), now, MetricsFor(task_class)});
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::Submit(std::function<void()> fn, const char* task_class,
+                       std::shared_ptr<const CancelToken> token,
+                       std::function<void()> done) {
+  const uint64_t now = obs::NowNanos();
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(QueuedTask{std::move(fn), now, MetricsFor(task_class),
+                                std::move(token), std::move(done)});
   }
   cv_.notify_one();
 }

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -37,6 +38,31 @@
 #include "src/obs/metrics.h"
 
 namespace dissodb {
+
+/// \brief Cooperative cancellation handle shared between a controller and
+/// the tasks it schedules (the anytime refinement rounds are the first
+/// user: a deadline must abort cleanly mid-refinement). A token trips
+/// either explicitly (Cancel) or implicitly once `deadline_ns` (absolute,
+/// obs::NowNanos clock) passes. Checking is lock-free; tasks poll it
+/// between work batches, and the Scheduler skips queued tasks whose token
+/// is already tripped when they would start.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// Auto-cancels once NowNanos() >= deadline_ns; 0 = no deadline.
+  explicit CancelToken(uint64_t deadline_ns) : deadline_ns_(deadline_ns) {}
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return deadline_ns_ != 0 && obs::NowNanos() >= deadline_ns_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  uint64_t deadline_ns_ = 0;
+};
 
 class Scheduler {
  public:
@@ -62,6 +88,21 @@ class Scheduler {
   /// the queue-wait / run-time histograms the task records into; reuse a
   /// small set of stable names ("query", "helper", default "task").
   void Submit(std::function<void()> fn, const char* task_class = "task");
+
+  /// Cancellable Submit: `fn` is skipped (never invoked) when `token` is
+  /// already cancelled at the moment the task would start — counted in
+  /// scheduler.tasks_cancelled instead of the run histogram. `done`, when
+  /// non-null, is invoked exactly once either way (after `fn` returns, or
+  /// at skip time), so a controller can join on a round of cancellable
+  /// tasks without futures that a skip would leave unresolved.
+  void Submit(std::function<void()> fn, const char* task_class,
+              std::shared_ptr<const CancelToken> token,
+              std::function<void()> done = nullptr);
+
+  /// Tasks skipped because their token was cancelled before they started.
+  size_t tasks_cancelled() const {
+    return local_cancelled_.load(std::memory_order_relaxed);
+  }
 
   /// Runs one queued task on the calling thread, if any is pending; returns
   /// whether a task ran. Lets a thread that is about to block on an
@@ -93,6 +134,10 @@ class Scheduler {
     std::function<void()> fn;
     uint64_t enqueue_ns = 0;
     ClassMetrics* cm = nullptr;
+    /// Non-null for cancellable tasks (Submit with a CancelToken).
+    std::shared_ptr<const CancelToken> token;
+    /// Completion callback; invoked whether the task ran or was skipped.
+    std::function<void()> done;
   };
 
   void WorkerLoop();
@@ -111,7 +156,9 @@ class Scheduler {
 
   obs::MetricsRegistry* metrics_;
   std::atomic<size_t> local_tasks_{0};
+  std::atomic<size_t> local_cancelled_{0};
   obs::Counter* tasks_executed_;
+  obs::Counter* tasks_cancelled_;
   obs::Counter* morsels_;
   obs::Gauge* busy_workers_;
   obs::Gauge* pool_threads_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -507,6 +508,16 @@ void WeightColumn::Scale(double f) {
   for (size_t ci = 0; ci < chunks_.size(); ++ci) {
     Chunk* c = MutableChunk(ci);
     for (double& v : c->vals) v = std::clamp(v * f, 0.0, 1.0);
+  }
+}
+
+void WeightColumn::ComplementPow(double e) {
+  if (e == 1.0) return;
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    Chunk* c = MutableChunk(ci);
+    for (double& v : c->vals) {
+      v = std::clamp(1.0 - std::pow(1.0 - v, e), 0.0, 1.0);
+    }
   }
 }
 

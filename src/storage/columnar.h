@@ -368,6 +368,14 @@ class WeightColumn {
   /// rewrites. No-op when `f == 1.0` (identity rescale must not copy).
   void Scale(double f);
 
+  /// `v = clamp(1 - (1 - v)^e, 0, 1)` for every element, detaching each
+  /// chunk it rewrites. With e = 1/d this is the oblivious dissociation
+  /// transform: d independent copies of the new weight union back to at
+  /// most the original (1-(1-v')^d <= v), which is what makes dissociated
+  /// plan scores over the transformed weights *lower*-bound the true
+  /// probability (src/anytime/lower_bound.h). No-op when `e == 1.0`.
+  void ComplementPow(double e);
+
  private:
   Chunk* MutableTail() {
     if (chunks_.empty() || chunks_.back()->vals.size() > chunk_mask_) {

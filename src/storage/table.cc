@@ -42,6 +42,12 @@ void Table::ScaleProbabilities(double f) {
   NoteOverwrite();
 }
 
+void Table::DissociateProbabilitiesObliviously(double d) {
+  if (schema_.deterministic || d <= 1.0 || NumRows() == 0) return;
+  MutableWeights()->ComplementPow(1.0 / d);
+  NoteOverwrite();
+}
+
 bool Table::SatisfiesFD(const FunctionalDependency& fd) const {
   // Map lhs-key -> first row index; conflict on any rhs value violates.
   std::unordered_map<size_t, std::vector<size_t>> buckets;

@@ -63,6 +63,14 @@ class Table : public ColumnarRows {
   /// deterministic relations.
   void ScaleProbabilities(double f);
 
+  /// Rewrites every probability p to 1 - (1-p)^(1/d): the symmetric
+  /// oblivious dissociation weights for a tuple copied at most `d` times.
+  /// Monotone plan scores over a shallow copy transformed this way
+  /// *lower*-bound the true query probability (see
+  /// src/anytime/lower_bound.h); over-estimating d keeps the bound valid,
+  /// it only loosens it. No-op on deterministic relations or d <= 1.
+  void DissociateProbabilitiesObliviously(double d);
+
   /// Checks whether the data satisfies a declared FD.
   bool SatisfiesFD(const FunctionalDependency& fd) const;
 

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/infer/exact.h"
@@ -70,8 +72,9 @@ TEST(KarpLubyTest, ConvergesToExact) {
   auto exact = ExactDnfProbability(f);
   ASSERT_TRUE(exact.ok());
   Rng rng(11);
-  double est = KarpLubyEstimate(f, 200000, &rng);
-  EXPECT_NEAR(est, *exact, 0.01);
+  auto est = KarpLubyEstimate(f, 200000, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, *exact, 0.01);
 }
 
 TEST(KarpLubyTest, GoodOnTinyProbabilities) {
@@ -84,8 +87,9 @@ TEST(KarpLubyTest, GoodOnTinyProbabilities) {
   ASSERT_TRUE(exact.ok());
   ASSERT_LT(*exact, 1e-5);
   Rng rng(3);
-  double kl = KarpLubyEstimate(f, 20000, &rng);
-  EXPECT_NEAR(kl / *exact, 1.0, 0.1);  // within 10% relative error
+  auto kl = KarpLubyEstimate(f, 20000, &rng);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl / *exact, 1.0, 0.1);  // within 10% relative error
 }
 
 TEST(KarpLubyTest, SingleTermIsExactInExpectation) {
@@ -94,7 +98,35 @@ TEST(KarpLubyTest, SingleTermIsExactInExpectation) {
   f.terms = {{0, 1}};
   Rng rng(5);
   // With one term every sample counts: the estimator is exactly P(T1).
-  EXPECT_NEAR(KarpLubyEstimate(f, 10, &rng), 0.18, 1e-12);
+  auto est = KarpLubyEstimate(f, 10, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 0.18, 1e-12);
+}
+
+TEST(KarpLubyTest, EmptyFormulaIsAnErrorNotZero) {
+  // "No lineage" must be distinguishable from a true probability of 0 —
+  // the silent 0.0 fallback used to conflate them.
+  Dnf f;
+  Rng rng(1);
+  auto est = KarpLubyEstimate(f, 100, &rng);
+  EXPECT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(KarpLubyTest, ZeroSamplesIsAnError) {
+  Dnf f = Example7();
+  Rng rng(1);
+  EXPECT_FALSE(KarpLubyEstimate(f, 0, &rng).ok());
+}
+
+TEST(KarpLubyTest, AllZeroWeightTermsIsTrueZero) {
+  Dnf f;
+  f.probs = {0.0, 0.5};
+  f.terms = {{0, 1}};
+  Rng rng(1);
+  auto est = KarpLubyEstimate(f, 100, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
 }
 
 TEST(KarpLubyTest, AgreesWithNaiveOnModerateFormulas) {
@@ -113,8 +145,108 @@ TEST(KarpLubyTest, AgreesWithNaiveOnModerateFormulas) {
     auto exact = ExactDnfProbability(f);
     ASSERT_TRUE(exact.ok());
     Rng r1(trial), r2(trial + 1000);
-    EXPECT_NEAR(KarpLubyEstimate(f, 60000, &r1), *exact, 0.02);
+    auto kl = KarpLubyEstimate(f, 60000, &r1);
+    ASSERT_TRUE(kl.ok());
+    EXPECT_NEAR(*kl, *exact, 0.02);
     EXPECT_NEAR(NaiveDnfEstimate(f, 60000, &r2), *exact, 0.02);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// McEstimator: the resumable batch estimator behind anytime refinement.
+// ---------------------------------------------------------------------------
+
+TEST(McEstimatorTest, MatchesNaiveEstimate) {
+  Dnf f = Example7();
+  Rng a(42), b(42);
+  McEstimator est(&f);
+  est.AddBatch(5000, &a);
+  EXPECT_DOUBLE_EQ(est.Estimate(), NaiveDnfEstimate(f, 5000, &b));
+  EXPECT_EQ(est.samples(), 5000u);
+}
+
+TEST(McEstimatorTest, HalfWidthShrinksAndBrackets) {
+  Dnf f = Example7();
+  auto exact = ExactDnfProbability(f);
+  ASSERT_TRUE(exact.ok());
+  McEstimator est(&f);
+  EXPECT_TRUE(std::isinf(est.HalfWidth()));
+  Rng rng(9);
+  est.AddBatch(1000, &rng);
+  const double hw_small = est.HalfWidth();
+  est.AddBatch(100000, &rng);
+  EXPECT_LT(est.HalfWidth(), hw_small);
+  // ~4 sigma: the exact value lies inside the interval with overwhelming
+  // probability for this fixed seed.
+  EXPECT_GE(*exact, est.Estimate() - est.HalfWidth());
+  EXPECT_LE(*exact, est.Estimate() + est.HalfWidth());
+}
+
+TEST(McEstimatorTest, CancelledBatchIsDiscardedWhole) {
+  Dnf f = Example7();
+  McEstimator est(&f);
+  Rng warm(3);
+  est.AddBatch(2048, &warm);
+  const size_t samples_before = est.samples();
+  const size_t hits_before = est.hits();
+  Rng rng(4);
+  // Cancelled from the start: the batch must fold in nothing at all.
+  EXPECT_EQ(est.AddBatch(4096, &rng, [] { return true; }), 0u);
+  EXPECT_EQ(est.samples(), samples_before);
+  EXPECT_EQ(est.hits(), hits_before);
+}
+
+// The bit-reproducibility contract of anytime refinement: per-(plan,
+// answer, round) seeds make the folded estimate independent of how many
+// workers drain the batches and in which order they run.
+TEST(McEstimatorTest, BitReproducibleAcrossWorkerCounts) {
+  const uint64_t plan_fp = 0x8badf00dcafeULL;
+  const int kAnswers = 16;
+  const int kRounds = 4;
+  std::vector<Dnf> formulas(kAnswers);
+  Rng gen(99);
+  for (int a = 0; a < kAnswers; ++a) {
+    for (int v = 0; v < 8; ++v) formulas[a].probs.push_back(gen.NextDouble());
+    for (int t = 0; t < 5; ++t) {
+      formulas[a].terms.push_back(
+          {static_cast<int>(gen.NextBounded(8)),
+           static_cast<int>(gen.NextBounded(8))});
+    }
+    formulas[a].Normalize();
+  }
+
+  // Runs every (answer, round) batch partitioned over `workers` threads
+  // and returns the per-answer estimates.
+  auto run = [&](int workers) {
+    std::vector<McEstimator> est;
+    est.reserve(kAnswers);
+    for (int a = 0; a < kAnswers; ++a) est.emplace_back(&formulas[a]);
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::thread> pool;
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          for (int a = w; a < kAnswers; a += workers) {
+            Rng rng(RefinementSeed(plan_fp, static_cast<uint64_t>(a),
+                                   static_cast<uint64_t>(round)));
+            est[a].AddBatch(1024 << round, &rng);
+          }
+        });
+      }
+      for (auto& t : pool) t.join();
+    }
+    std::vector<double> out;
+    for (int a = 0; a < kAnswers; ++a) out.push_back(est[a].Estimate());
+    return out;
+  };
+
+  const std::vector<double> one = run(1);
+  for (int workers : {2, 8}) {
+    const std::vector<double> many = run(workers);
+    for (int a = 0; a < kAnswers; ++a) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(one[a], many[a]) << "answer " << a << " with " << workers
+                                 << " workers";
+    }
   }
 }
 

@@ -102,5 +102,54 @@ TEST(SchedulerTest, SubmitRunsDetachedWork) {
   EXPECT_EQ(ran, 10);
 }
 
+TEST(SchedulerTest, CancelledTasksAreSkippedButAlwaysCompleted) {
+  // The anytime refinement barrier depends on this: every cancellable
+  // task invokes its `done` callback exactly once whether it ran or was
+  // skipped, so a WaitGroup-style join never hangs after a cancel.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  std::atomic<int> bodies_run{0};
+  constexpr int kTasks = 64;
+
+  auto token = std::make_shared<CancelToken>();
+  Scheduler pool(3);
+  for (int i = 0; i < kTasks; ++i) {
+    if (i == kTasks / 2) token->Cancel();  // mid-submission cancel
+    pool.Submit([&] { bodies_run.fetch_add(1, std::memory_order_relaxed); },
+                "cancel-test", token, [&] {
+                  std::lock_guard lock(mu);
+                  if (++completed == kTasks) cv.notify_one();
+                });
+  }
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return completed == kTasks; });
+  }
+  EXPECT_EQ(completed, static_cast<size_t>(kTasks));
+  // Everything submitted after the cancel is skipped; tasks already
+  // dequeued before it may have run.
+  EXPECT_LE(bodies_run.load(), kTasks / 2);
+  EXPECT_GE(pool.tasks_cancelled(), static_cast<size_t>(kTasks / 2));
+}
+
+TEST(SchedulerTest, DeadlineTokenAutoCancels) {
+  auto token = std::make_shared<CancelToken>(obs::NowNanos());  // expired
+  EXPECT_TRUE(token->cancelled());
+  std::atomic<int> bodies_run{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  Scheduler pool(2);
+  pool.Submit([&] { bodies_run.fetch_add(1); }, "deadline-test", token, [&] {
+    std::lock_guard lock(mu);
+    completed = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return completed; });
+  EXPECT_EQ(bodies_run.load(), 0);
+}
+
 }  // namespace
 }  // namespace dissodb
